@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the simulator substrate's hot paths.
+
+Not a paper artifact — these track the raw speed of the pieces the
+paper's overhead tables are built from: event dispatch, struct codec,
+the generated PMU model's tick, cache lookups and the DRAM scheduler.
+"""
+
+from repro.bridge.structs import Field, StructSpec
+from repro.models.pmu import PMUSharedLibrary
+from repro.soc.cache import Cache
+from repro.soc.event import EventQueue
+from repro.soc.mem import DRAMController, IdealMemory, ddr4_2400
+from repro.soc.packet import MemCmd, Packet
+from repro.soc.ports import RequestPort
+from repro.soc.simobject import Simulation
+
+
+def test_micro_event_queue_throughput(benchmark):
+    def run():
+        q = EventQueue()
+        count = 0
+
+        def cb():
+            nonlocal count
+            count += 1
+            if count < 20_000:
+                q.schedule_fn(cb, q.cur_tick + 10)
+
+        q.schedule_fn(cb, 0)
+        q.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+def test_micro_struct_codec(benchmark):
+    spec = StructSpec("s", [
+        Field("a", 1), Field("b", 12), Field("c", 32),
+        Field("d", 48), Field("v", 32, count=4),
+    ])
+
+    def run():
+        for i in range(2000):
+            data = spec.pack(a=1, b=i, c=i * 7, d=i * 31, v=[i, i, i, i])
+            spec.unpack(data)
+
+    benchmark(run)
+
+
+def test_micro_pmu_rtl_tick_rate(benchmark):
+    lib = PMUSharedLibrary()
+    lib.reset()
+    buf = lib.input_spec.pack(events=0b111011)
+
+    def run():
+        for _ in range(2000):
+            lib.tick(buf)
+
+    benchmark(run)
+
+
+def test_micro_cache_hit_path(benchmark):
+    sim = Simulation()
+    cache = Cache(sim, "c", 64 * 1024, 4, 1, mshrs=16)
+    mem = IdealMemory(sim, "m", latency_cycles=1)
+    cache.mem_side.connect(mem.port)
+    done = []
+    port = RequestPort("d", recv_timing_resp=lambda p: (done.append(1), True)[1],
+                       recv_req_retry=lambda: None)
+    port.connect(cache.cpu_side)
+    # warm one line
+    port.send_timing_req(Packet(MemCmd.ReadReq, 0, 8))
+    sim.run(until=sim.now + 10**6)
+
+    def run():
+        done.clear()
+        for _ in range(2000):
+            port.send_timing_req(Packet(MemCmd.ReadReq, 0, 8))
+            sim.run(until=sim.now + 2000)
+        return len(done)
+
+    assert benchmark(run) == 2000
+
+
+def test_micro_dram_scheduler(benchmark):
+    def run():
+        sim = Simulation()
+        ctrl = DRAMController(sim, "m", ddr4_2400(2))
+        served = []
+        port = RequestPort("d", recv_timing_resp=lambda p: (served.append(1), True)[1],
+                           recv_req_retry=lambda: None)
+        port.connect(ctrl.port)
+        issued = 0
+
+        def pump():
+            nonlocal issued
+            while issued < 2000:
+                if not port.send_timing_req(
+                    Packet(MemCmd.ReadReq, (issued * 64) % (1 << 22), 64)
+                ):
+                    sim.eventq.schedule_fn(pump, sim.now + 20_000, name="p")
+                    return
+                issued += 1
+
+        pump()
+        while len(served) < 2000:
+            sim.run(until=sim.now + 10**7)
+        return len(served)
+
+    assert benchmark(run) == 2000

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""PMU use case (paper §4.1 / Fig. 5): monitor a multi-phase workload.
+
+Runs the paper's three-sort benchmark (QuickSort over 10× the elements,
+then SelectionSort and BubbleSort, separated by sleeps) on a simulated
+out-of-order core with the Verilog PMU attached.  The PMU interrupts
+every 10 000 cycles; the interrupt handler reads the counters over MMIO
+and the harness compares the PMU-measured IPC/MPKI against the
+simulator's own statistics — they should overlap, with a small,
+quantified number of events lost to the counter-clear window.
+
+Run:  python examples/pmu_monitoring.py [N]
+"""
+
+import sys
+
+from repro.dse import render_fig5, run_fig5
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    print(f"running sort benchmark (N={n}, quicksort {10 * n}) with PMU...")
+    result = run_fig5(n_sort=n, interval_cycles=10_000)
+    print()
+    print(render_fig5(result, max_rows=40))
+
+    # the headline claims, checked:
+    errs = sorted(
+        abs(w.pmu_ipc - w.gem5_ipc)
+        for w in result.windows
+        if w.gem5_commits > 100
+    )
+    median_err = errs[len(errs) // 2]
+    close = sum(1 for e in errs if e < 0.05)
+    sleeps = [w for w in result.windows if w.gem5_ipc < 0.01]
+    print()
+    print(f"windows: {len(result.windows)}  sleep windows: {len(sleeps)}")
+    print(f"median |PMU - gem5| IPC: {median_err:.4f}; "
+          f"{close}/{len(errs)} windows agree within 0.05 "
+          "(phase boundaries skew by sampling latency, as in the paper)")
+    loss = result.lost_events() / max(result.total_committed, 1)
+    print(f"events lost to reset/delay: {result.lost_events()} "
+          f"({100 * loss:.2f}% — the interaction the paper quantifies)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works on minimal offline environments
+where the ``wheel`` package (required for PEP 660 editable installs with
+older setuptools) is unavailable: pip falls back to the legacy
+``setup.py develop`` path when this file exists.
+"""
+
+from setuptools import setup
+
+setup()

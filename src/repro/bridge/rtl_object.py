@@ -1,0 +1,242 @@
+"""RTLObject: the gem5-side half of the bridge (paper §3.4).
+
+An :class:`RTLObject` is a SimObject that owns a shared library and
+exposes the paper's connectivity surface:
+
+* **four timing ports** — two CPU-side response ports (the SoC sends
+  requests *to* the RTL block: configuration writes, counter reads) and
+  two memory-side request ports (the RTL block masters the memory
+  system: NVDLA's DBBIF and SRAMIF);
+* **optional TLB hookup** for address translation of memory-side
+  requests;
+* **a tick event** running at the RTL model's own clock frequency,
+  which may differ from the cores' (the PMU runs at 1 GHz under 2 GHz
+  cores in the paper's Table 1);
+* the **struct exchange**: every tick the object packs an input struct,
+  calls ``library.tick``, and consumes the output struct.
+
+Model-specific subclasses implement :meth:`build_input` and
+:meth:`consume_output` — exactly the paper's "the gem5 RTLObject and the
+shared library need to define these data structures and have the
+necessary code to populate and consume their fields".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..soc.event import ClockDomain, Event, EventPriority
+from ..soc.packet import MemCmd, Packet
+from ..soc.ports import RequestPort, ResponsePort
+from ..soc.simobject import SimObject, Simulation
+from ..soc.tlb import TLB
+from .shared_library import SharedLibrary
+
+#: number of ports on each side, per the paper
+CPU_SIDE_PORTS = 2
+MEM_SIDE_PORTS = 2
+
+
+class RTLObject(SimObject):
+    """Bridges one shared-library RTL model into the simulated SoC."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        library: SharedLibrary,
+        clock: Optional[ClockDomain] = None,
+        tlb: Optional[TLB] = None,
+        max_inflight: Optional[int] = None,
+        parent: Optional[SimObject] = None,
+    ) -> None:
+        super().__init__(sim, name, parent, clock=clock)
+        self.library = library
+        self.tlb = tlb
+        self.max_inflight = max_inflight
+
+        # CPU-side: the SoC masters us (config writes, register reads).
+        self.cpu_side = [
+            ResponsePort(
+                f"{name}.cpu_side{i}",
+                recv_timing_req=self._make_cpu_req_handler(i),
+                recv_resp_retry=self._make_cpu_resp_retry(i),
+                recv_functional=self._recv_functional,
+            )
+            for i in range(CPU_SIDE_PORTS)
+        ]
+        # Memory-side: we master the SoC memory system.
+        self.mem_side = [
+            RequestPort(
+                f"{name}.mem_side{i}",
+                recv_timing_resp=self._recv_mem_resp,
+                recv_req_retry=self._make_mem_retry(i),
+            )
+            for i in range(MEM_SIDE_PORTS)
+        ]
+
+        # Inbound CPU-side requests awaiting processing by the RTL model.
+        self.cpu_req_queue: deque[Packet] = deque()
+        # Responses we produced but whose port was busy.
+        self._blocked_resps: list[deque[Packet]] = [
+            deque() for _ in range(CPU_SIDE_PORTS)
+        ]
+        # Memory-side requests awaiting port acceptance, per port.
+        self._mem_req_queue: list[deque[Packet]] = [
+            deque() for _ in range(MEM_SIDE_PORTS)
+        ]
+        # Responses from memory, delivered into the next input struct.
+        self.mem_resp_queue: deque[Packet] = deque()
+        self.inflight = 0
+
+        self._tick_event = Event(self._tick, f"{name}.tick")
+        self._running = True
+
+        s = self.stats
+        self.st_ticks = s.scalar("ticks", "RTL model clock ticks executed")
+        self.st_mem_reads = s.scalar("mem_reads", "memory-side read requests")
+        self.st_mem_writes = s.scalar("mem_writes", "memory-side write requests")
+        self.st_mem_resps = s.scalar("mem_resps", "memory-side responses")
+        self.st_cpu_reqs = s.scalar("cpu_reqs", "CPU-side requests received")
+        self.st_stalled_reqs = s.scalar(
+            "stalled_reqs", "memory-side requests delayed by port backpressure"
+        )
+        self.st_inflight_peak = s.scalar("inflight_peak", "max in-flight mem reqs")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def startup(self) -> None:
+        self.library.reset()
+        self.schedule_cycles(self._tick_event, 1, EventPriority.CLOCK)
+
+    def stop(self) -> None:
+        """Stop ticking (end of workload)."""
+        self._running = False
+        if self._tick_event.scheduled:
+            self.sim.eventq.deschedule(self._tick_event)
+
+    # -- the tick ----------------------------------------------------------
+
+    def _tick(self) -> None:
+        in_bytes = self.build_input()
+        out_bytes = self.library.tick(in_bytes)
+        self.st_ticks.inc()
+        self.consume_output(self.library.output_spec.unpack(out_bytes))
+        if self._running:
+            self.schedule_cycles(self._tick_event, 1, EventPriority.CLOCK)
+
+    # -- hooks for model-specific subclasses ----------------------------------
+
+    def build_input(self) -> bytes:
+        """Pack the input struct for this tick (override per model)."""
+        return self.library.input_spec.zeros()
+
+    def consume_output(self, outputs: dict) -> None:
+        """Act on the output struct from this tick (override per model)."""
+
+    # -- CPU-side plumbing ------------------------------------------------------
+
+    def _make_cpu_req_handler(self, port_idx: int):
+        def handler(pkt: Packet) -> bool:
+            pkt.dest_port = port_idx
+            self.cpu_req_queue.append(pkt)
+            self.st_cpu_reqs.inc()
+            return True  # the RTL object always sinks config traffic
+
+        return handler
+
+    def _make_cpu_resp_retry(self, port_idx: int):
+        def handler() -> None:
+            queue = self._blocked_resps[port_idx]
+            while queue:
+                pkt = queue.popleft()
+                if not self.cpu_side[port_idx].send_timing_resp(pkt):
+                    queue.appendleft(pkt)
+                    return
+
+        return handler
+
+    def _recv_functional(self, pkt: Packet) -> None:
+        raise NotImplementedError(
+            f"{self.name}: functional access to RTL state is model-specific"
+        )
+
+    def respond_cpu(self, pkt: Packet, data: Optional[bytes] = None) -> None:
+        """Turn an inbound CPU-side request around and send the response."""
+        port_idx = pkt.dest_port
+        if port_idx is None:
+            raise RuntimeError("packet did not arrive via a cpu_side port")
+        pkt.make_response(data)
+        pkt.resp_tick = self.now
+        if self._blocked_resps[port_idx] or not self.cpu_side[
+            port_idx
+        ].send_timing_resp(pkt):
+            self._blocked_resps[port_idx].append(pkt)
+
+    # -- memory-side plumbing -------------------------------------------------------
+
+    def can_issue_mem(self) -> bool:
+        return self.max_inflight is None or self.inflight < self.max_inflight
+
+    def send_mem_read(
+        self, addr: int, size: int, port_idx: int = 0, translate: bool = False,
+        **meta,
+    ) -> bool:
+        pkt = Packet(MemCmd.ReadReq, addr, size, requestor=self.name)
+        pkt.meta.update(meta)
+        return self._issue_mem(pkt, port_idx, translate)
+
+    def send_mem_write(
+        self,
+        addr: int,
+        size: int,
+        data: Optional[bytes] = None,
+        port_idx: int = 0,
+        translate: bool = False,
+        **meta,
+    ) -> bool:
+        pkt = Packet(MemCmd.WriteReq, addr, size, data=data, requestor=self.name)
+        pkt.meta.update(meta)
+        return self._issue_mem(pkt, port_idx, translate)
+
+    def _issue_mem(self, pkt: Packet, port_idx: int, translate: bool) -> bool:
+        """Issue a memory-side request; False iff the in-flight cap is hit."""
+        if not self.can_issue_mem():
+            return False
+        if translate:
+            if self.tlb is None:
+                raise RuntimeError(f"{self.name}: no TLB configured")
+            pkt.vaddr = pkt.addr
+            pkt.addr, _walk = self.tlb.translate(pkt.addr)
+        self.inflight += 1
+        if self.inflight > self.st_inflight_peak.value():
+            self.st_inflight_peak.set(self.inflight)
+        if pkt.is_read:
+            self.st_mem_reads.inc()
+        else:
+            self.st_mem_writes.inc()
+        pkt.req_tick = self.now
+        queue = self._mem_req_queue[port_idx]
+        if queue or not self.mem_side[port_idx].send_timing_req(pkt):
+            queue.append(pkt)
+            self.st_stalled_reqs.inc()
+        return True
+
+    def _make_mem_retry(self, port_idx: int):
+        def handler() -> None:
+            queue = self._mem_req_queue[port_idx]
+            while queue:
+                pkt = queue.popleft()
+                if not self.mem_side[port_idx].send_timing_req(pkt):
+                    queue.appendleft(pkt)
+                    return
+
+        return handler
+
+    def _recv_mem_resp(self, pkt: Packet) -> bool:
+        pkt.resp_tick = self.now
+        self.inflight -= 1
+        self.st_mem_resps.inc()
+        self.mem_resp_queue.append(pkt)
+        return True

@@ -1,0 +1,149 @@
+"""The shared-library wrapper contract (paper §3.3).
+
+A shared library bundles the Verilator/GHDL-generated model with a
+wrapper exposing exactly two entry points to gem5:
+
+* ``tick(input_bytes) -> output_bytes`` — advance the model one of *its*
+  clock cycles, fed by a packed input struct, producing a packed output
+  struct;
+* ``reset()`` — reset the modelled hardware.
+
+:class:`SharedLibrary` is that contract.  :class:`RTLSharedLibrary` is
+the common implementation for models compiled by our HDL frontends: it
+owns the :class:`~repro.rtl.RTLSimulator`, supports waveform tracing
+with runtime enable/disable (Table 2's knob), and leaves two hooks —
+``drive``/``collect`` — for the model-specific wrapper (PMU, NVDLA, …)
+to move struct fields onto RTL pins and back.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, TextIO
+
+from ..rtl.kernel import RTLModule
+from ..rtl.simulator import RTLSimulator
+from ..rtl.vcd import VCDWriter
+from .structs import StructSpec
+
+
+class SharedLibrary(abc.ABC):
+    """The two-function boundary between gem5 and any RTL model."""
+
+    #: struct layouts; subclasses must define both.
+    input_spec: StructSpec
+    output_spec: StructSpec
+
+    @abc.abstractmethod
+    def tick(self, input_bytes: bytes) -> bytes:
+        """Advance the model one cycle of its own clock."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Reset the modelled hardware."""
+
+
+class RTLSharedLibrary(SharedLibrary):
+    """Wrapper base for models produced by the HDL toolflows.
+
+    Subclasses implement:
+
+    * :meth:`drive` — move unpacked input-struct fields onto RTL inputs
+      (via ``self.sim.poke``);
+    * :meth:`collect` — read RTL outputs and return output-struct fields.
+    """
+
+    #: name of the design's reset input (asserted by :meth:`reset`)
+    reset_signal: str = "rst"
+
+    def __init__(
+        self,
+        module: RTLModule,
+        trace_stream: Optional[TextIO] = None,
+        trace_enabled: bool = False,
+    ) -> None:
+        trace = None
+        if trace_stream is not None:
+            trace = VCDWriter(module, stream=trace_stream, enabled=trace_enabled)
+        self.module = module
+        self.sim = RTLSimulator(module, trace=trace)
+        self.ticks = 0
+
+    # -- waveform control (runtime toggling, as in the paper) ---------------
+
+    @property
+    def tracing(self) -> bool:
+        return self.sim.trace is not None and self.sim.trace.enabled
+
+    def enable_waveforms(self) -> None:
+        if self.sim.trace is None:
+            raise RuntimeError(
+                "no trace stream was configured for this shared library"
+            )
+        self.sim.trace.enable()
+
+    def disable_waveforms(self) -> None:
+        if self.sim.trace is not None:
+            self.sim.trace.disable()
+
+    # -- the contract -----------------------------------------------------------
+
+    def tick(self, input_bytes: bytes) -> bytes:
+        inputs = self.input_spec.unpack(input_bytes)
+        self.drive(inputs)
+        self.sim.settle()
+        self.sim.tick()
+        self.ticks += 1
+        outputs = self.collect()
+        return self.output_spec.pack(**outputs)
+
+    def reset(self) -> None:
+        self.sim.reset(self.reset_signal)
+        self.ticks = 0
+
+    # -- checkpointing (a Verilator feature the paper calls out) ------------
+
+    def save_checkpoint(self):
+        """Snapshot the RTL model's full state."""
+        ckpt = self.sim.save_checkpoint()
+        return (ckpt, self.ticks)
+
+    def restore_checkpoint(self, checkpoint) -> None:
+        ckpt, ticks = checkpoint
+        self.sim.restore_checkpoint(ckpt)
+        self.ticks = ticks
+
+    # -- model-specific hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def drive(self, inputs: dict) -> None:
+        """Apply unpacked input fields to the RTL model's input signals."""
+
+    @abc.abstractmethod
+    def collect(self) -> dict:
+        """Read the RTL model's outputs into output-struct fields."""
+
+
+class BehavioralSharedLibrary(SharedLibrary):
+    """Wrapper base for cycle-level behavioural models (no HDL kernel).
+
+    Used for large IP where gate-level simulation is impractical in this
+    substrate (our NVDLA-class accelerator).  Subclasses implement
+    :meth:`step` with the same tick-in/tick-out semantics.
+    """
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def tick(self, input_bytes: bytes) -> bytes:
+        inputs = self.input_spec.unpack(input_bytes)
+        outputs = self.step(inputs)
+        self.ticks += 1
+        return self.output_spec.pack(**outputs)
+
+    @abc.abstractmethod
+    def step(self, inputs: dict) -> dict:
+        """Advance one cycle; return output-struct fields."""
+
+    def reset(self) -> None:
+        self.ticks = 0

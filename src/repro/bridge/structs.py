@@ -1,0 +1,153 @@
+"""Input/output struct exchange between gem5 and the shared library.
+
+The paper's wrapper contract passes "a void pointer to a predefined data
+structure" into ``tick`` and returns results "on another data structure".
+We reproduce that contract faithfully: both sides agree on a
+:class:`StructSpec` (an ordered set of fixed-width fields), and the data
+actually crosses the boundary as *packed bytes* — the gem5 side never
+reaches into the RTL model's state, and vice versa.
+
+Like a C struct, every field occupies a power-of-two slot (1/2/4/8
+bytes per element) so the codec compiles to one :class:`struct.Struct`
+format — this layer runs once per simulated RTL clock cycle, so it is
+deliberately cheap.
+
+Example::
+
+    PMU_IN = StructSpec("pmu_in", [
+        Field("events", 20),              # event_enable[0-19] bits
+        Field("aw_valid", 1), Field("aw_addr", 32),
+        Field("w_valid", 1),  Field("w_data", 32),
+        Field("ar_valid", 1), Field("ar_addr", 32),
+    ])
+    buf = PMU_IN.pack(events=0b101, ar_valid=1, ar_addr=0x100)
+    fields = PMU_IN.unpack(buf)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+
+def _slot_for(width: int) -> tuple[int, str]:
+    """(bytes, struct code) of the smallest power-of-two slot."""
+    if width <= 8:
+        return 1, "B"
+    if width <= 16:
+        return 2, "H"
+    if width <= 32:
+        return 4, "I"
+    return 8, "Q"
+
+
+@dataclass(frozen=True)
+class Field:
+    """One fixed-width unsigned field; ``count > 1`` makes it an array."""
+
+    name: str
+    width: int          # bits
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.width > 64:
+            raise ValueError(f"field {self.name!r}: width must be in 1..64")
+        if self.count <= 0:
+            raise ValueError(f"field {self.name!r}: count must be positive")
+
+    @property
+    def nbytes(self) -> int:
+        return _slot_for(self.width)[0] * self.count
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+class StructSpec:
+    """An ordered, fixed-layout struct definition shared by both sides."""
+
+    def __init__(self, name: str, fields: list[Field]) -> None:
+        self.name = name
+        self.fields = list(fields)
+        seen: set[str] = set()
+        for f in self.fields:
+            if f.name in seen:
+                raise ValueError(f"duplicate field {f.name!r} in struct {name!r}")
+            seen.add(f.name)
+
+        # compiled layout: one flat little-endian struct format
+        fmt = "<"
+        self._layout: list[tuple[str, int, int, int]] = []  # name,count,mask,pos
+        pos = 0
+        for f in self.fields:
+            _, code = _slot_for(f.width)
+            fmt += code * f.count
+            self._layout.append((f.name, f.count, f.mask, pos))
+            pos += f.count
+        self._struct = struct.Struct(fmt)
+        self._nvalues = pos
+        self._offsets = {f.name: i for i, f in enumerate(self.fields)}
+        self.size = self._struct.size
+        self._zeros = b"\0" * self.size
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._offsets
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    # -- packing -------------------------------------------------------------
+
+    def pack(self, **values) -> bytes:
+        """Pack keyword values (ints, or lists for array fields) to bytes.
+
+        Unspecified fields default to zero.  Values are masked to their
+        declared width, matching hardware truncation semantics.
+        """
+        flat = [0] * self._nvalues
+        taken = 0
+        for fname, count, mask, pos in self._layout:
+            if fname not in values:
+                continue
+            taken += 1
+            value = values[fname]
+            if count == 1:
+                flat[pos] = int(value) & mask
+            else:
+                if len(value) != count:
+                    raise ValueError(
+                        f"field {fname!r} expects {count} elements, "
+                        f"got {len(value)}"
+                    )
+                for i, elem in enumerate(value):
+                    flat[pos + i] = int(elem) & mask
+        if taken != len(values):
+            unknown = set(values) - {f.name for f in self.fields}
+            raise KeyError(
+                f"struct {self.name!r} has no fields {sorted(unknown)}"
+            )
+        return self._struct.pack(*flat)
+
+    def unpack(self, data: bytes) -> dict:
+        """Decode bytes into ``{field: int | list[int]}``."""
+        if len(data) != self.size:
+            raise ValueError(
+                f"struct {self.name!r} expects {self.size} bytes, "
+                f"got {len(data)}"
+            )
+        flat = self._struct.unpack(data)
+        out: dict = {}
+        for fname, count, mask, pos in self._layout:
+            if count == 1:
+                out[fname] = flat[pos] & mask
+            else:
+                out[fname] = [flat[pos + i] & mask for i in range(count)]
+        return out
+
+    def zeros(self) -> bytes:
+        return self._zeros
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<StructSpec {self.name} {self.size}B, {len(self.fields)} fields>"

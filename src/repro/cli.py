@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``   compile a Verilog/VHDL file and print the elaborated design
+              (optionally free-run it and dump a VCD)
+``fig5``      PMU-vs-gem5 IPC series (paper Fig. 5)
+``table2``    PMU / waveform simulation-time overheads (paper Table 2)
+``dse``       one NVDLA design-space-exploration subfigure (Figs. 6/7)
+``table3``    full-system vs standalone overheads (paper Table 3)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+
+def _parse_params(pairs: list[str]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}; expected NAME=INT")
+        name, _, value = pair.partition("=")
+        out[name] = int(value, 0)
+    return out
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from .rtl import RTLSimulator, VCDWriter
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    params = _parse_params(args.param)
+    if args.file.endswith((".vhd", ".vhdl")):
+        from .hdl.vhdl import compile_vhdl as compile_fn
+
+        flow = "VHDL (GHDL-equivalent)"
+    else:
+        from .hdl.verilog import compile_verilog as compile_fn
+
+        flow = "Verilog (Verilator-equivalent)"
+    rtl = compile_fn(source, top=args.top, params=params or None,
+                     filename=args.file)
+    print(f"compiled {args.file} with the {flow} flow")
+    print(f"  top module : {rtl.name}")
+    print(f"  signals    : {len(rtl.signals)} "
+          f"({len(rtl.inputs)} inputs, {len(rtl.outputs)} outputs)")
+    print(f"  memories   : {len(rtl.memories)}")
+    print(f"  processes  : {len(rtl.comb_procs)} comb, "
+          f"{len(rtl.sync_procs)} sync")
+    if args.show_code:
+        print("\n-- generated model code " + "-" * 40)
+        print(getattr(rtl, "generated_source", "<none>"))
+    if args.area:
+        from .rtl.synth import estimate_area
+
+        if args.file.endswith((".vhd", ".vhdl")):
+            print("\n(area estimation currently walks the Verilog AST only)")
+        else:
+            from .hdl.verilog.parser import parse as vparse
+
+            report = estimate_area(vparse(source), rtl.name, params or None)
+            print()
+            print(report.format_text())
+    if args.ticks:
+        trace = None
+        stream = None
+        if args.vcd:
+            stream = open(args.vcd, "w", encoding="utf-8")
+            trace = VCDWriter(rtl, stream=stream)
+        sim = RTLSimulator(rtl, trace=trace)
+        sim.reset()
+        sim.tick(args.ticks)
+        print(f"\nfree-ran {args.ticks} cycles; outputs:")
+        for sig in rtl.outputs:
+            print(f"  {sig.name} = {sim.peek(sig.name):#x}")
+        if stream is not None:
+            trace.close()
+            stream.close()
+            print(f"waveform written to {args.vcd}")
+    return 0
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from .dse import render_fig5, run_fig5
+
+    result = run_fig5(n_sort=args.n, interval_cycles=args.interval)
+    print(render_fig5(result, max_rows=args.rows))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    from .dse import render_table2
+    from .dse.pmu_experiment import run_table2
+
+    sizes = tuple(int(s) for s in args.sizes.split(","))
+    print(render_table2(run_table2(sizes=sizes)))
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from .dse import render_dse, run_dse
+
+    inflight = tuple(int(x) for x in args.inflight.split(","))
+    memories = tuple(args.memories.split(","))
+    result = run_dse(
+        args.workload, args.nvdla, inflight_sweep=inflight,
+        memories=memories, scale=args.scale,
+    )
+    print(render_dse(result, inflight_sweep=inflight))
+    print(f"\n({result.wall_seconds:.1f}s wall for "
+          f"{len(inflight) * len(memories) + 1} simulations)")
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from .dse import render_table3, run_table3
+
+    print(render_table3(run_table3()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gem5+rtl reproduction: RTL models inside a "
+                    "full-system simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile an HDL file")
+    p.add_argument("file", help=".v/.sv or .vhd/.vhdl source")
+    p.add_argument("--top", default=None, help="top module/entity")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=INT", help="parameter/generic override")
+    p.add_argument("--ticks", type=int, default=0,
+                   help="free-run N cycles after reset")
+    p.add_argument("--vcd", default=None, help="waveform output path")
+    p.add_argument("--show-code", action="store_true",
+                   help="print the generated model code")
+    p.add_argument("--area", action="store_true",
+                   help="print a structural LUT/FF area estimate")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("fig5", help="PMU vs gem5 IPC series")
+    p.add_argument("--n", type=int, default=200, help="sort size")
+    p.add_argument("--interval", type=int, default=10_000)
+    p.add_argument("--rows", type=int, default=40)
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("table2", help="PMU/waveform overheads")
+    p.add_argument("--sizes", default="60,150,300")
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("dse", help="NVDLA design-space exploration")
+    p.add_argument("--workload", choices=("sanity3", "googlenet"),
+                   default="sanity3")
+    p.add_argument("--nvdla", type=int, default=1)
+    p.add_argument("--inflight", default="1,4,8,16,32,64,128,240")
+    p.add_argument("--memories",
+                   default="DDR4-1ch,DDR4-2ch,DDR4-4ch,GDDR5,HBM")
+    p.add_argument("--scale", type=float, default=None)
+    p.set_defaults(fn=cmd_dse)
+
+    p = sub.add_parser("table3", help="full-system vs standalone overhead")
+    p.set_defaults(fn=cmd_table3)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

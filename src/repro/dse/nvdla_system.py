@@ -1,0 +1,110 @@
+"""System assembly for the NVDLA design-space exploration (paper §5/6.2).
+
+Builds the Table 1 SoC with 1/2/4 NVDLA instances, each with its own
+CSB MMIO window, DBBIF/SRAMIF hookup to the memory bus, host
+application and workload copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..models.nvdla import (
+    NVDLAHostApp,
+    NVDLARTLObject,
+    NVDLASharedLibrary,
+    for_instance,
+)
+from ..soc.interconnect.xbar import AddrRange
+from ..soc.system import SoC, SoCConfig
+
+NVDLA_MMIO_BASE = 0x2000_0000
+NVDLA_MMIO_STRIDE = 0x1000
+
+
+@dataclass
+class NVDLASystem:
+    """A built system plus its accelerator-side handles."""
+
+    soc: SoC
+    rtls: list[NVDLARTLObject]
+    hosts: list[NVDLAHostApp]
+
+    def run_to_completion(self, max_ticks: int = 10**12) -> int:
+        """Start all host apps and run until every one completes."""
+        for host in self.hosts:
+            host.start()
+        sim = self.soc.sim
+        sim.startup()
+        step = sim.default_clock.cycles_to_ticks(20_000)
+        deadline = sim.now + max_ticks
+        while not all(h.done for h in self.hosts):
+            if sim.now >= deadline:
+                raise TimeoutError("NVDLA workload did not complete")
+            sim.run(until=min(sim.now + step, deadline))
+        for rtl in self.rtls:
+            rtl.stop()
+        return sim.now
+
+
+def build_nvdla_system(
+    workload: str = "sanity3",
+    n_nvdla: int = 1,
+    memory: str = "DDR4-4ch",
+    max_inflight: int = 240,
+    timed_load: bool = False,
+    scale: float = 1.0,
+    soc_cfg: Optional[SoCConfig] = None,
+    use_sram_scratchpad: bool = False,
+) -> NVDLASystem:
+    """Assemble the DSE system.
+
+    ``memory`` is a Table 1 preset name or ``"ideal"`` (the
+    normalisation baseline).  ``max_inflight`` is the paper's in-flight
+    request cap, applied per NVDLA instance.  ``use_sram_scratchpad``
+    hooks the SRAMIF to a private ideal scratchpad instead of main
+    memory (the extension the paper suggests), used by the ablation
+    bench.
+    """
+    if n_nvdla < 1:
+        raise ValueError("need at least one NVDLA instance")
+    cfg = soc_cfg or SoCConfig()
+    cfg.memory = memory
+    soc = SoC(cfg)
+
+    rtls: list[NVDLARTLObject] = []
+    hosts: list[NVDLAHostApp] = []
+    for i in range(n_nvdla):
+        mmio = NVDLA_MMIO_BASE + i * NVDLA_MMIO_STRIDE
+        rtl = NVDLARTLObject(
+            soc.sim, f"nvdla{i}", NVDLASharedLibrary(),
+            max_inflight=max_inflight, mmio_base=mmio,
+        )
+        soc.attach_rtl_cpu_side(
+            rtl, io_range=AddrRange(mmio, mmio + NVDLA_MMIO_STRIDE)
+        )
+        soc.attach_rtl_mem_side(rtl, port_idx=0)   # DBBIF -> membus
+        if use_sram_scratchpad:
+            from ..soc.mem.ideal import IdealMemory
+
+            spad = IdealMemory(
+                soc.sim, f"spad{i}", physmem=soc.physmem, latency_cycles=2
+            )
+            rtl.mem_side[1].connect(spad.port)
+        else:
+            soc.attach_rtl_mem_side(rtl, port_idx=1)  # SRAMIF -> membus
+
+        trace = for_instance(workload, i, scale=scale)
+        if use_sram_scratchpad:
+            for layer in trace.layers:
+                layer.sram_mode = 1
+        host_core = soc.cores[i] if timed_load else None
+        host = NVDLAHostApp(
+            soc, rtl, trace, instance=i,
+            host_core=host_core, timed_load=timed_load,
+        )
+        rtls.append(rtl)
+        hosts.append(host)
+
+    return NVDLASystem(soc, rtls, hosts)

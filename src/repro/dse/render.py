@@ -1,0 +1,78 @@
+"""ASCII renderers for the reproduced tables and figures.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers format them consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .pmu_experiment import Fig5Result, Table2Row
+from .sweep import DSEResult, INFLIGHT_SWEEP, Table3Result
+
+
+def render_fig5(result: Fig5Result, max_rows: int = 0) -> str:
+    lines = [
+        "Fig. 5 — IPC over time: PMU counters vs gem5 statistics",
+        f"{'t(ms)':>8} {'PMU IPC':>8} {'gem5 IPC':>9} "
+        f"{'PMU MPKI':>9} {'gem5 MPKI':>10}",
+    ]
+    windows = result.windows
+    if max_rows and len(windows) > max_rows:
+        step = len(windows) / max_rows
+        windows = [windows[int(i * step)] for i in range(max_rows)]
+    for w in windows:
+        lines.append(
+            f"{w.time_ms:8.3f} {w.pmu_ipc:8.3f} {w.gem5_ipc:9.3f} "
+            f"{w.pmu_mpki:9.2f} {w.gem5_mpki:10.2f}"
+        )
+    lines.append(
+        f"totals: gem5 commits={result.total_committed} "
+        f"PMU commits={result.pmu_total_commits} "
+        f"lost-to-reset/delay={result.lost_events()}"
+    )
+    return "\n".join(lines)
+
+
+def render_table2(rows: Iterable[Table2Row]) -> str:
+    rows = list(rows)
+    lines = [
+        "Table 2 — simulation-time overhead vs plain gem5 (1.0 = baseline)",
+        f"{'config':<22}" + "".join(f"{r.size:>10}" for r in rows),
+        f"{'gem5+PMU':<22}"
+        + "".join(f"{r.pmu_overhead:>10.2f}" for r in rows),
+        f"{'gem5+PMU+waveform':<22}"
+        + "".join(f"{r.waveform_overhead:>10.2f}" for r in rows),
+    ]
+    return "\n".join(lines)
+
+
+def render_dse(result: DSEResult, inflight_sweep=INFLIGHT_SWEEP) -> str:
+    fig = "Fig. 7" if result.workload == "sanity3" else "Fig. 6"
+    sub = {1: "(a)", 2: "(b)", 4: "(c)"}.get(result.n_nvdla, "")
+    lines = [
+        f"{fig}{sub} — {result.workload}, {result.n_nvdla} NVDLA instance(s); "
+        "performance normalized to ideal 1-cycle memory",
+        f"{'max in-flight':<14}"
+        + "".join(f"{m:>8}" for m in inflight_sweep),
+    ]
+    for memory, series in result.normalized.items():
+        lines.append(
+            f"{memory:<14}"
+            + "".join(f"{series[m]:>8.3f}" for m in inflight_sweep)
+        )
+    return "\n".join(lines)
+
+
+def render_table3(rows: Iterable[Table3Result]) -> str:
+    rows = list(rows)
+    lines = [
+        "Table 3 — gem5+rtl simulation-time overhead vs standalone run",
+        f"{'config':<32}" + "".join(f"{r.workload:>12}" for r in rows),
+        f"{'gem5+NVDLA+perfect-memory':<32}"
+        + "".join(f"{r.perfect_overhead:>12.2f}" for r in rows),
+        f"{'gem5+NVDLA+DDR4':<32}"
+        + "".join(f"{r.ddr4_overhead:>12.2f}" for r in rows),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""NVDLA design-space exploration sweeps (Figures 6/7, Table 3).
+
+``run_dse`` regenerates one figure: for a workload and NVDLA count it
+sweeps the maximum in-flight requests {1,4,8,16,32,64,128,240} across
+the five memory technologies, normalising each point to the ideal
+1-cycle-memory run — exactly the paper's y-axis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .nvdla_system import build_nvdla_system
+
+#: the paper's x-axis
+INFLIGHT_SWEEP = (1, 4, 8, 16, 32, 64, 128, 240)
+#: the paper's memory technologies
+MEMORIES = ("DDR4-1ch", "DDR4-2ch", "DDR4-4ch", "GDDR5", "HBM")
+#: NVDLA instance counts of the (a)/(b)/(c) subfigures
+NVDLA_COUNTS = (1, 2, 4)
+
+#: default workload scales: full-size sanity3; GoogleNet shrunk for
+#: wall-clock (the stream is still ~19x the 240-deep in-flight window)
+DEFAULT_SCALES = {"sanity3": 1.0, "googlenet": 0.35}
+
+
+def measure_exec_ticks(
+    workload: str,
+    n_nvdla: int,
+    memory: str,
+    max_inflight: int,
+    scale: float,
+) -> int:
+    """One DSE point: slowest instance's doorbell-to-IRQ time."""
+    system = build_nvdla_system(
+        workload, n_nvdla=n_nvdla, memory=memory,
+        max_inflight=max_inflight, scale=scale,
+    )
+    system.run_to_completion()
+    return max(host.exec_ticks() for host in system.hosts)
+
+
+@dataclass
+class DSEResult:
+    """One subfigure: normalized performance[memory][inflight]."""
+
+    workload: str
+    n_nvdla: int
+    ideal_ticks: int
+    normalized: dict[str, dict[int, float]] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def series(self, memory: str) -> list[float]:
+        return [self.normalized[memory][m] for m in INFLIGHT_SWEEP]
+
+
+def run_dse(
+    workload: str,
+    n_nvdla: int,
+    inflight_sweep: tuple[int, ...] = INFLIGHT_SWEEP,
+    memories: tuple[str, ...] = MEMORIES,
+    scale: float | None = None,
+) -> DSEResult:
+    """Regenerate one subfigure of Fig. 6 (googlenet) / Fig. 7 (sanity3)."""
+    if scale is None:
+        scale = DEFAULT_SCALES.get(workload, 1.0)
+    t0 = time.perf_counter()
+    ideal = measure_exec_ticks(workload, n_nvdla, "ideal",
+                               max(inflight_sweep), scale)
+    result = DSEResult(workload, n_nvdla, ideal)
+    for memory in memories:
+        result.normalized[memory] = {}
+        for inflight in inflight_sweep:
+            ticks = measure_exec_ticks(workload, n_nvdla, memory,
+                                       inflight, scale)
+            result.normalized[memory][inflight] = ideal / ticks
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 3: simulation-time overhead vs standalone "Verilator" run
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table3Result:
+    workload: str
+    t_standalone: float
+    t_perfect_memory: float
+    t_ddr4: float
+
+    @property
+    def perfect_overhead(self) -> float:
+        return self.t_perfect_memory / self.t_standalone
+
+    @property
+    def ddr4_overhead(self) -> float:
+        return self.t_ddr4 / self.t_standalone
+
+
+def run_standalone(workload: str, scale: float) -> float:
+    """Standalone accelerator simulation (the paper's plain-Verilator
+    baseline): the *same* model + wrapper (struct boundary included,
+    like nvdla.cpp driving the verilated model), against an ideal
+    zero-latency testbench memory — no SoC, no trace-load phase, it
+    'reads the trace directly'."""
+    from ..models.nvdla.trace import RegWrite, WaitIrq
+    from ..models.nvdla.workloads import WORKLOADS
+    from ..models.nvdla.wrapper import NVDLASharedLibrary, RESP_LANES
+
+    trace = WORKLOADS[workload](scale=scale)
+    lib = NVDLASharedLibrary()
+    lib.reset()
+    in_spec, out_spec = lib.input_spec, lib.output_spec
+
+    t0 = time.perf_counter()
+    pending: list[int] = []
+    unacked = 0
+    for cmd in trace.commands():
+        if isinstance(cmd, RegWrite):
+            lib.tick(in_spec.pack(csb_valid=1, csb_write=1,
+                                  csb_addr=cmd.addr, csb_wdata=cmd.value))
+        elif isinstance(cmd, WaitIrq):
+            # the testbench memory: every request completes next cycle
+            for _ in range(10_000_000):  # bounded spin
+                seqs = pending[:RESP_LANES]
+                pending = pending[RESP_LANES:]
+                out = out_spec.unpack(lib.tick(in_spec.pack(
+                    credit=255,
+                    rd_resp_count=len(seqs),
+                    rd_resp_seqs=seqs + [0] * (RESP_LANES - len(seqs)),
+                    wr_acks=min(unacked, 7),
+                )))
+                unacked -= min(unacked, 7)
+                pending.extend(out["rd_seqs"][: out["rd_count"]])
+                unacked += out["wr_count"]
+                if out["irq"]:
+                    break
+            else:  # pragma: no cover - defensive
+                raise RuntimeError("standalone run did not complete")
+    return time.perf_counter() - t0
+
+
+def run_full_system(workload: str, memory: str, scale: float) -> float:
+    """gem5+NVDLA wall time, including the timed trace-load phase."""
+    system = build_nvdla_system(
+        workload, n_nvdla=1, memory=memory, max_inflight=240,
+        timed_load=True, scale=scale,
+    )
+    t0 = time.perf_counter()
+    system.run_to_completion()
+    return time.perf_counter() - t0
+
+
+def run_table3(
+    workloads: tuple[str, ...] = ("sanity3", "googlenet"),
+    scales: dict[str, float] | None = None,
+) -> list[Table3Result]:
+    """Reproduce Table 3: full-system overhead vs standalone simulation."""
+    scales = scales or DEFAULT_SCALES
+    rows = []
+    for workload in workloads:
+        scale = scales.get(workload, 1.0)
+        t_alone = run_standalone(workload, scale)
+        t_perfect = run_full_system(workload, "ideal", scale)
+        t_ddr4 = run_full_system(workload, "DDR4-4ch", scale)
+        rows.append(Table3Result(workload, t_alone, t_perfect, t_ddr4))
+    return rows

@@ -1,0 +1,8 @@
+"""HDL frontends: Verilog (Verilator-equivalent) and VHDL (GHDL-equivalent).
+
+Both compile into :class:`repro.rtl.RTLModule` via the shared elaborator.
+"""
+
+from .common import ElabError, HDLError, LexError, ParseError
+
+__all__ = ["ElabError", "HDLError", "LexError", "ParseError"]

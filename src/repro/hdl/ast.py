@@ -1,0 +1,296 @@
+"""Language-neutral HDL AST shared by the Verilog and VHDL frontends.
+
+Both parsers lower their surface syntax into these nodes; a single
+elaborator (:mod:`repro.hdl.elaborator`) then compiles the AST into an
+executable :class:`repro.rtl.RTLModule`.  This mirrors how the paper
+treats Verilator and GHDL as interchangeable producers of the same kind
+of C/C++ model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .common import Loc
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    loc: Loc
+
+
+@dataclass
+class Literal(Expr):
+    value: int
+    width: Optional[int] = None  # None: unsized (context width, default 32)
+
+
+@dataclass
+class WildcardLiteral(Expr):
+    """A casez match pattern: ``value`` under ``care_mask`` (? / z bits
+    are don't-care).  Valid only as a case-item match."""
+
+    value: int = 0
+    care_mask: int = 0
+    width: Optional[int] = None
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """``name[expr]`` — bit-select of a vector or read of a memory word."""
+
+    name: str
+    index: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Slice(Expr):
+    """``name[msb:lsb]`` — constant part-select."""
+
+    name: str
+    msb: "Expr" = None  # type: ignore[assignment]
+    lsb: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Concat(Expr):
+    parts: list["Expr"] = field(default_factory=list)
+
+
+@dataclass
+class Repeat(Expr):
+    """``{count{value}}`` replication; count must be constant."""
+
+    count: "Expr" = None  # type: ignore[assignment]
+    value: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Unary(Expr):
+    """op in: ``~ ! - + & | ^ ~& ~| ~^`` (last five are reductions)."""
+
+    op: str = ""
+    operand: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    """op in: ``+ - * / % << >> < <= > >= == != & | ^ && ||``."""
+
+    op: str = ""
+    left: "Expr" = None  # type: ignore[assignment]
+    right: "Expr" = None  # type: ignore[assignment]
+
+
+@dataclass
+class Ternary(Expr):
+    cond: "Expr" = None  # type: ignore[assignment]
+    then: "Expr" = None  # type: ignore[assignment]
+    other: "Expr" = None  # type: ignore[assignment]
+
+
+# ---------------------------------------------------------------------------
+# L-values
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Lvalue:
+    loc: Loc
+
+
+@dataclass
+class LvId(Lvalue):
+    name: str
+
+
+@dataclass
+class LvIndex(Lvalue):
+    """``name[expr] = …`` — bit of a vector or word of a memory."""
+
+    name: str
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class LvSlice(Lvalue):
+    name: str
+    msb: Expr = None  # type: ignore[assignment]
+    lsb: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class LvConcat(Lvalue):
+    parts: list[Lvalue] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    loc: Loc
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Stmt):
+    """``lhs = rhs`` (blocking) or ``lhs <= rhs`` (non-blocking)."""
+
+    lhs: Lvalue = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+    blocking: bool = True
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class CaseItem:
+    matches: Optional[list[Expr]]  # None = default arm
+    body: Stmt
+
+
+@dataclass
+class Case(Stmt):
+    subject: Expr = None  # type: ignore[assignment]
+    items: list[CaseItem] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    """``for (var = init; cond; var = step) body`` — evaluated dynamically."""
+
+    var: str = ""
+    init: Expr = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+    step: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Null(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Module-level items
+# ---------------------------------------------------------------------------
+
+DIR_INPUT = "input"
+DIR_OUTPUT = "output"
+
+
+@dataclass
+class Range:
+    """``[msb:lsb]``; both bounds must elaborate to constants."""
+
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass
+class NetDecl:
+    """wire/reg/integer/signal declaration; a second range makes a memory."""
+
+    loc: Loc
+    name: str
+    rng: Optional[Range] = None            # None => 1-bit
+    kind: str = "wire"                     # wire | reg | integer
+    mem_range: Optional[Range] = None      # reg [w] name [lo:hi]
+    direction: Optional[str] = None        # input | output | None
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ParamDecl:
+    loc: Loc
+    name: str
+    value: Expr
+    is_local: bool = False
+
+
+@dataclass
+class ContAssign:
+    """Continuous assignment (``assign`` / VHDL concurrent assignment)."""
+
+    loc: Loc
+    lhs: Lvalue
+    rhs: Expr
+
+
+@dataclass
+class SensItem:
+    edge: Optional[str]  # "pos" | "neg" | None (level)
+    name: str
+
+
+@dataclass
+class AlwaysBlock:
+    """``always @(…) stmt`` or a VHDL process."""
+
+    loc: Loc
+    sensitivity: Optional[list[SensItem]]  # None => combinational (@*)
+    body: Stmt
+    name: str = "always"
+
+
+@dataclass
+class Instance:
+    loc: Loc
+    module: str
+    name: str
+    params: dict[str, Expr] = field(default_factory=dict)
+    conns: dict[str, Optional[Expr]] = field(default_factory=dict)
+
+
+@dataclass
+class GenerateFor:
+    """``for (gv = init; cond; gv = step) begin : label … end`` —
+    a structural loop unrolled at elaboration time."""
+
+    loc: Loc
+    var: str
+    init: Expr
+    cond: Expr
+    step: Expr
+    label: str
+    items: list = field(default_factory=list)
+
+
+Item = Union[NetDecl, ParamDecl, ContAssign, AlwaysBlock, Instance,
+             GenerateFor]
+
+
+@dataclass
+class ModuleDecl:
+    loc: Loc
+    name: str
+    items: list[Item] = field(default_factory=list)
+
+    def ports(self) -> list[NetDecl]:
+        return [
+            it
+            for it in self.items
+            if isinstance(it, NetDecl) and it.direction is not None
+        ]

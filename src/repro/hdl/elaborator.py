@@ -1,0 +1,711 @@
+"""Elaborator: compile the shared HDL AST into an executable RTLModule.
+
+This plays Verilator's role in the paper: the design hierarchy is
+flattened, parameters are folded, and every process (``assign`` /
+``always`` / VHDL process) is compiled into a *generated Python function*
+operating on the module's flat value arrays — the direct analogue of the
+C++ ``eval`` functions Verilator emits.  The generated source is kept on
+``RTLModule.generated_source`` for inspection/debugging.
+
+Semantics notes (documented deviations, all standard co-sim compromises):
+
+* Two-valued logic (no X/Z).  Registers start at 0 unless initialised.
+* ``always @(posedge clk or posedge rst)`` is treated as clocked on the
+  first edge item; asynchronous-set/reset behaviour therefore resolves at
+  the next clock edge (the bridge holds reset across full cycles, so
+  observable behaviour matches).
+* Self-determined expression widths: arithmetic/bitwise results take the
+  wider operand's width; comparisons and logical operators are 1 bit.
+* Out-of-range memory indices wrap modulo the depth (real Verilog reads X).
+* Non-blocking writes to bit/part-selects stage masked partial updates,
+  applied in program order after all processes sample — so multiple NBA
+  bit writes to one register in the same edge compose correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from . import ast
+from .common import ElabError, Loc
+from ..rtl.kernel import Memory, RTLModule, Signal, mask_for
+
+
+@dataclass
+class _SigRef:
+    sig: Signal
+    kind: str  # wire | reg | integer
+
+
+@dataclass
+class _MemRef:
+    mem: Memory
+
+
+@dataclass
+class _Scope:
+    """Per-instance name resolution: params are folded constants."""
+
+    prefix: str
+    params: dict[str, int] = field(default_factory=dict)
+    names: dict[str, Union[_SigRef, _MemRef]] = field(default_factory=dict)
+
+    def lookup(self, name: str, loc: Loc) -> Union[int, _SigRef, _MemRef]:
+        if name in self.params:
+            return self.params[name]
+        if name in self.names:
+            return self.names[name]
+        raise ElabError(f"unknown identifier {name!r}", loc)
+
+
+class _CodeBuf:
+    """Indentation-aware line accumulator for one generated function."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 1
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def push(self) -> None:
+        self.indent += 1
+
+    def pop(self) -> None:
+        self.indent -= 1
+
+
+class Elaborator:
+    """Flattens a module hierarchy and generates process code."""
+
+    def __init__(
+        self,
+        modules: dict[str, ast.ModuleDecl],
+        top: str,
+        params: Optional[dict[str, int]] = None,
+    ) -> None:
+        if top not in modules:
+            raise ElabError(f"top module {top!r} not found (have: {sorted(modules)})")
+        self.modules = modules
+        self.top = top
+        self.top_params = dict(params or {})
+        self.rtl = RTLModule(top)
+        self._proc_counter = 0
+        self._sources: list[str] = []
+        self._namespace: dict = {}
+
+    # -- public -------------------------------------------------------------
+
+    def elaborate(self) -> RTLModule:
+        scope = self._elaborate_module(self.modules[self.top], "", self.top_params,
+                                       is_top=True)
+        _ = scope
+        self.rtl.generated_source = "\n\n".join(self._sources)  # type: ignore[attr-defined]
+        return self.rtl
+
+    # -- module instantiation -------------------------------------------------
+
+    def _elaborate_module(
+        self,
+        mod: ast.ModuleDecl,
+        prefix: str,
+        param_over: dict[str, int],
+        is_top: bool = False,
+    ) -> _Scope:
+        scope = _Scope(prefix)
+
+        # Pass 1: parameters (in order; later ones may use earlier ones).
+        for item in mod.items:
+            if isinstance(item, ast.ParamDecl):
+                if not item.is_local and item.name in param_over:
+                    scope.params[item.name] = param_over[item.name]
+                else:
+                    scope.params[item.name] = self._const_expr(item.value, scope)
+        for name in param_over:
+            if name not in scope.params:
+                raise ElabError(
+                    f"override for unknown parameter {name!r} in module {mod.name!r}"
+                )
+
+        # Pass 2: nets / regs / memories.
+        for item in mod.items:
+            if isinstance(item, ast.NetDecl):
+                self._declare_net(item, scope, is_top)
+
+        # Pass 3: behaviour + children.
+        for item in mod.items:
+            if isinstance(item, ast.ContAssign):
+                self._compile_cont_assign(item, scope)
+            elif isinstance(item, ast.AlwaysBlock):
+                self._compile_always(item, scope)
+            elif isinstance(item, ast.Instance):
+                self._elaborate_instance(item, mod, scope)
+            elif isinstance(item, ast.GenerateFor):
+                self._elaborate_generate(item, scope)
+        return scope
+
+    def _elaborate_generate(self, gen: ast.GenerateFor, scope: _Scope) -> None:
+        """Unroll a generate-for: each iteration elaborates its items in
+        a scope where the genvar is a constant; names created inside get
+        a ``label[i].`` prefix (matching Verilog's generate naming)."""
+        value = self._const_expr(gen.init, scope)
+        for _guard in range(100_000):
+            iter_scope = _Scope(
+                prefix=f"{scope.prefix}{gen.label}[{value}].",
+                params={**scope.params, gen.var: value},
+                names=dict(scope.names),
+            )
+            if not self._const_expr(gen.cond, iter_scope):
+                return
+            for item in gen.items:
+                if isinstance(item, ast.NetDecl):
+                    self._declare_net(item, iter_scope, is_top=False)
+                elif isinstance(item, ast.ParamDecl):
+                    iter_scope.params[item.name] = self._const_expr(
+                        item.value, iter_scope
+                    )
+                elif isinstance(item, ast.ContAssign):
+                    self._compile_cont_assign(item, iter_scope)
+                elif isinstance(item, ast.AlwaysBlock):
+                    self._compile_always(item, iter_scope)
+                elif isinstance(item, ast.Instance):
+                    self._elaborate_instance(item, None, iter_scope)
+                elif isinstance(item, ast.GenerateFor):
+                    self._elaborate_generate(item, iter_scope)
+                else:  # pragma: no cover - parser restricts items
+                    raise ElabError(
+                        f"unsupported generate item {type(item).__name__}",
+                        gen.loc,
+                    )
+            value = self._const_expr(gen.step, iter_scope)
+        raise ElabError(
+            f"generate-for {gen.label!r} exceeded 100000 iterations", gen.loc
+        )
+
+    def _declare_net(self, decl: ast.NetDecl, scope: _Scope, is_top: bool) -> None:
+        width = self._range_width(decl.rng, scope, decl.loc)
+        if decl.kind == "integer":
+            width = 32
+        full = scope.prefix + decl.name
+        if decl.mem_range is not None:
+            lo = self._const_expr(decl.mem_range.msb, scope)
+            hi = self._const_expr(decl.mem_range.lsb, scope)
+            if lo != 0:
+                raise ElabError(
+                    f"memory {decl.name!r} must be declared [0:D-1]", decl.loc
+                )
+            depth = hi + 1
+            mem = self.rtl.add_memory(full, width, depth)
+            scope.names[decl.name] = _MemRef(mem)
+            return
+        init = self._const_expr(decl.init, scope) if decl.init is not None else 0
+        sig = self.rtl.add_signal(
+            full,
+            width,
+            is_input=is_top and decl.direction == ast.DIR_INPUT,
+            is_output=is_top and decl.direction == ast.DIR_OUTPUT,
+            init=init,
+        )
+        scope.names[decl.name] = _SigRef(sig, decl.kind)
+
+    def _range_width(
+        self, rng: Optional[ast.Range], scope: _Scope, loc: Loc
+    ) -> int:
+        if rng is None:
+            return 1
+        msb = self._const_expr(rng.msb, scope)
+        lsb = self._const_expr(rng.lsb, scope)
+        if lsb != 0:
+            raise ElabError(f"vector ranges must end at 0, got [{msb}:{lsb}]", loc)
+        if msb < lsb:
+            raise ElabError(f"descending range required, got [{msb}:{lsb}]", loc)
+        return msb - lsb + 1
+
+    def _elaborate_instance(
+        self, inst: ast.Instance, parent: ast.ModuleDecl, scope: _Scope
+    ) -> None:
+        if inst.module not in self.modules:
+            raise ElabError(f"unknown module {inst.module!r}", inst.loc)
+        child_decl = self.modules[inst.module]
+        child_params = {
+            name: self._const_expr(expr, scope) for name, expr in inst.params.items()
+        }
+        child_prefix = scope.prefix + inst.name + "."
+        child_scope = self._elaborate_module(child_decl, child_prefix, child_params)
+
+        ports = {p.name: p for p in child_decl.ports()}
+        for port_name, conn in inst.conns.items():
+            if port_name not in ports:
+                raise ElabError(
+                    f"module {inst.module!r} has no port {port_name!r}", inst.loc
+                )
+            if conn is None:
+                continue  # explicitly unconnected
+            port = ports[port_name]
+            if port.direction == ast.DIR_INPUT:
+                # child_input = parent_expr  (a comb alias process)
+                lhs = ast.LvId(inst.loc, port_name)
+                self._compile_cont_assign_scoped(
+                    lhs, conn, lhs_scope=child_scope, rhs_scope=scope,
+                    name=f"{inst.name}.{port_name}",
+                )
+            else:
+                # parent_net = child_output — connection must be assignable
+                if isinstance(conn, ast.Ident):
+                    lhs: ast.Lvalue = ast.LvId(inst.loc, conn.name)
+                elif isinstance(conn, ast.Index):
+                    lhs = ast.LvIndex(inst.loc, conn.name, conn.index)
+                elif isinstance(conn, ast.Slice):
+                    lhs = ast.LvSlice(inst.loc, conn.name, conn.msb, conn.lsb)
+                else:
+                    raise ElabError(
+                        f"output port {port_name!r} of {inst.name!r} must "
+                        "connect to a net, bit-select or part-select",
+                        inst.loc,
+                    )
+                rhs = ast.Ident(inst.loc, port_name)
+                self._compile_cont_assign_scoped(
+                    lhs, rhs, lhs_scope=scope, rhs_scope=child_scope,
+                    name=f"{inst.name}.{port_name}",
+                )
+
+    # -- constant folding ------------------------------------------------------
+
+    def _const_expr(self, expr: ast.Expr, scope: _Scope) -> int:
+        """Evaluate a compile-time-constant expression (params, literals)."""
+        code, _w, reads, _mem = self._compile_expr(expr, scope, const_only=True)
+        if reads:
+            raise ElabError("expression must be constant", expr.loc)
+        return eval(code, {}, {})  # noqa: S307 - generated constant expression
+
+    # -- expression compilation ---------------------------------------------------
+
+    def _compile_expr(
+        self,
+        expr: ast.Expr,
+        scope: _Scope,
+        const_only: bool = False,
+        reads: Optional[set[int]] = None,
+    ) -> tuple[str, int, set[int], bool]:
+        """Returns ``(python_code, width, read_signal_indices, touches_mem)``."""
+        if reads is None:
+            reads = set()
+        touches_mem = False
+
+        def rec(e: ast.Expr) -> tuple[str, int]:
+            nonlocal touches_mem
+            if isinstance(e, ast.WildcardLiteral):
+                raise ElabError(
+                    "wildcard pattern is only valid as a case-item match",
+                    e.loc,
+                )
+            if isinstance(e, ast.Literal):
+                width = e.width if e.width is not None else max(32, e.value.bit_length())
+                return (str(e.value & mask_for(width)), width)
+            if isinstance(e, ast.Ident):
+                ref = scope.lookup(e.name, e.loc)
+                if isinstance(ref, int):
+                    width = max(32, ref.bit_length()) if ref >= 0 else 32
+                    return (str(ref & mask_for(width)), width)
+                if isinstance(ref, _MemRef):
+                    raise ElabError(f"memory {e.name!r} needs an index", e.loc)
+                if const_only:
+                    reads.add(ref.sig.index)
+                    return ("0", ref.sig.width)
+                reads.add(ref.sig.index)
+                return (f"v[{ref.sig.index}]", ref.sig.width)
+            if isinstance(e, ast.Index):
+                ref = scope.lookup(e.name, e.loc)
+                idx_code, _ = rec(e.index)
+                if isinstance(ref, _MemRef):
+                    touches_mem = True
+                    return (
+                        f"m[{ref.mem.index}][({idx_code}) % {ref.mem.depth}]",
+                        ref.mem.width,
+                    )
+                if isinstance(ref, int):
+                    raise ElabError(f"cannot index parameter {e.name!r}", e.loc)
+                reads.add(ref.sig.index)
+                return (f"((v[{ref.sig.index}] >> ({idx_code})) & 1)", 1)
+            if isinstance(e, ast.Slice):
+                ref = scope.lookup(e.name, e.loc)
+                if not isinstance(ref, _SigRef):
+                    raise ElabError(f"can only part-select signals: {e.name!r}", e.loc)
+                msb = self._const_expr(e.msb, scope)
+                lsb = self._const_expr(e.lsb, scope)
+                if msb < lsb or msb >= ref.sig.width:
+                    raise ElabError(
+                        f"bad part-select {e.name}[{msb}:{lsb}] of width "
+                        f"{ref.sig.width}",
+                        e.loc,
+                    )
+                width = msb - lsb + 1
+                reads.add(ref.sig.index)
+                return (
+                    f"((v[{ref.sig.index}] >> {lsb}) & {mask_for(width)})",
+                    width,
+                )
+            if isinstance(e, ast.Concat):
+                total_code = None
+                total_width = 0
+                for part in e.parts:  # MSB first
+                    code, w = rec(part)
+                    if total_code is None:
+                        total_code, total_width = code, w
+                    else:
+                        total_code = f"((({total_code}) << {w}) | ({code}))"
+                        total_width += w
+                assert total_code is not None
+                return (total_code, total_width)
+            if isinstance(e, ast.Repeat):
+                count = self._const_expr(e.count, scope)
+                if count <= 0:
+                    raise ElabError("replication count must be positive", e.loc)
+                code, w = rec(e.value)
+                pieces = [f"(({code}) << {i * w})" for i in range(count)]
+                return ("(" + " | ".join(pieces) + ")", w * count)
+            if isinstance(e, ast.Unary):
+                code, w = rec(e.operand)
+                mask = mask_for(w)
+                table = {
+                    "~": (f"((~({code})) & {mask})", w),
+                    "!": (f"(0 if ({code}) else 1)", 1),
+                    "-": (f"((-({code})) & {mask})", w),
+                    "&": (f"(1 if ({code}) == {mask} else 0)", 1),
+                    "|": (f"(1 if ({code}) else 0)", 1),
+                    "^": (f"((({code})).bit_count() & 1)", 1),
+                    "~&": (f"(0 if ({code}) == {mask} else 1)", 1),
+                    "~|": (f"(0 if ({code}) else 1)", 1),
+                    "^~": (f"(((({code})).bit_count() & 1) ^ 1)", 1),
+                }
+                if e.op not in table:
+                    raise ElabError(f"unsupported unary operator {e.op!r}", e.loc)
+                return table[e.op]
+            if isinstance(e, ast.Binary):
+                lc, lw = rec(e.left)
+                rc, rw = rec(e.right)
+                w = max(lw, rw)
+                mask = mask_for(w)
+                op = e.op
+                if op in ("+", "-", "*"):
+                    return (f"((({lc}) {op} ({rc})) & {mask})", w)
+                if op == "/":
+                    return (f"((({lc}) // ({rc})) if ({rc}) else 0)", w)
+                if op == "%":
+                    return (f"((({lc}) % ({rc})) if ({rc}) else 0)", w)
+                if op == "<<":
+                    return (f"((({lc}) << ({rc})) & {mask_for(lw)})", lw)
+                if op == ">>":
+                    return (f"(({lc}) >> ({rc}))", lw)
+                if op in ("<", ">", "<=", ">=", "==", "!="):
+                    return (f"(1 if ({lc}) {op} ({rc}) else 0)", 1)
+                if op in ("&", "|", "^"):
+                    return (f"(({lc}) {op} ({rc}))", w)
+                if op == "^~":
+                    return (f"((~(({lc}) ^ ({rc}))) & {mask})", w)
+                if op == "&&":
+                    return (f"(1 if ({lc}) and ({rc}) else 0)", 1)
+                if op == "||":
+                    return (f"(1 if ({lc}) or ({rc}) else 0)", 1)
+                raise ElabError(f"unsupported binary operator {op!r}", e.loc)
+            if isinstance(e, ast.Ternary):
+                cc, _ = rec(e.cond)
+                tc, tw = rec(e.then)
+                fc, fw = rec(e.other)
+                return (f"(({tc}) if ({cc}) else ({fc}))", max(tw, fw))
+            raise ElabError(f"unsupported expression {type(e).__name__}", e.loc)
+
+        code, width = rec(expr)
+        return code, width, reads, touches_mem
+
+    # -- statement compilation -----------------------------------------------------
+
+    def _compile_store(
+        self,
+        lhs: ast.Lvalue,
+        rhs_code: str,
+        rhs_width: int,
+        scope: _Scope,
+        buf: _CodeBuf,
+        writes: set[int],
+        reads: set[int],
+        nonblocking: bool,
+    ) -> None:
+        if isinstance(lhs, ast.LvId):
+            ref = scope.lookup(lhs.name, lhs.loc)
+            if isinstance(ref, _MemRef):
+                raise ElabError(f"memory {lhs.name!r} needs an index", lhs.loc)
+            if isinstance(ref, int):
+                raise ElabError(f"cannot assign to parameter {lhs.name!r}", lhs.loc)
+            idx, mask = ref.sig.index, ref.sig.mask
+            writes.add(idx)
+            val = rhs_code if rhs_width <= ref.sig.width else f"(({rhs_code}) & {mask})"
+            if nonblocking:
+                buf.emit(f"nba.append(({idx}, {val}))")
+            else:
+                buf.emit(f"v[{idx}] = {val}")
+            return
+        if isinstance(lhs, ast.LvIndex):
+            ref = scope.lookup(lhs.name, lhs.loc)
+            idx_code, _, r2, _ = self._compile_expr(lhs.index, scope)
+            reads.update(r2)
+            if isinstance(ref, _MemRef):
+                mi, mask, depth = ref.mem.index, ref.mem.mask, ref.mem.depth
+                val = f"(({rhs_code}) & {mask})"
+                if nonblocking:
+                    buf.emit(f"nbm.append(({mi}, ({idx_code}) % {depth}, {val}))")
+                else:
+                    buf.emit(f"m[{mi}][({idx_code}) % {depth}] = {val}")
+                return
+            if isinstance(ref, int):
+                raise ElabError(f"cannot assign to parameter {lhs.name!r}", lhs.loc)
+            idx = ref.sig.index
+            writes.add(idx)
+            if nonblocking:
+                # partial (masked) NBA: merges with other bit writes
+                buf.emit(
+                    f"nba.append(({idx}, (({rhs_code}) & 1) << ({idx_code}), "
+                    f"1 << ({idx_code})))"
+                )
+            else:
+                reads.add(idx)  # read-modify-write
+                buf.emit(
+                    f"v[{idx}] = ((v[{idx}] & ~(1 << ({idx_code}))) | "
+                    f"((({rhs_code}) & 1) << ({idx_code})))"
+                )
+            return
+        if isinstance(lhs, ast.LvSlice):
+            ref = scope.lookup(lhs.name, lhs.loc)
+            if not isinstance(ref, _SigRef):
+                raise ElabError(f"can only part-select signals: {lhs.name!r}", lhs.loc)
+            msb = self._const_expr(lhs.msb, scope)
+            lsb = self._const_expr(lhs.lsb, scope)
+            if msb < lsb or msb >= ref.sig.width:
+                raise ElabError(f"bad part-select on {lhs.name!r}", lhs.loc)
+            fmask = mask_for(msb - lsb + 1)
+            idx = ref.sig.index
+            writes.add(idx)
+            if nonblocking:
+                buf.emit(
+                    f"nba.append(({idx}, (({rhs_code}) & {fmask}) << {lsb}, "
+                    f"{fmask << lsb}))"
+                )
+            else:
+                reads.add(idx)
+                buf.emit(
+                    f"v[{idx}] = ((v[{idx}] & ~{fmask << lsb}) | "
+                    f"((({rhs_code}) & {fmask}) << {lsb}))"
+                )
+            return
+        if isinstance(lhs, ast.LvConcat):
+            # Split RHS (held in a temp) across the parts, MSB first.
+            tmp = f"_t{self._proc_counter}_{len(buf.lines)}"
+            buf.emit(f"{tmp} = {rhs_code}")
+            widths = [self._lvalue_width(p, scope) for p in lhs.parts]
+            offset = sum(widths)
+            for part, w in zip(lhs.parts, widths):
+                offset -= w
+                code = f"(({tmp} >> {offset}) & {mask_for(w)})"
+                self._compile_store(
+                    part, code, w, scope, buf, writes, reads, nonblocking
+                )
+            return
+        raise ElabError(f"unsupported lvalue {type(lhs).__name__}", lhs.loc)
+
+    def _lvalue_width(self, lhs: ast.Lvalue, scope: _Scope) -> int:
+        if isinstance(lhs, ast.LvId):
+            ref = scope.lookup(lhs.name, lhs.loc)
+            if isinstance(ref, _SigRef):
+                return ref.sig.width
+            if isinstance(ref, _MemRef):
+                return ref.mem.width
+            raise ElabError(f"cannot assign to parameter {lhs.name!r}", lhs.loc)
+        if isinstance(lhs, ast.LvIndex):
+            ref = scope.lookup(lhs.name, lhs.loc)
+            if isinstance(ref, _MemRef):
+                return ref.mem.width
+            return 1
+        if isinstance(lhs, ast.LvSlice):
+            msb = self._const_expr(lhs.msb, scope)
+            lsb = self._const_expr(lhs.lsb, scope)
+            return msb - lsb + 1
+        if isinstance(lhs, ast.LvConcat):
+            return sum(self._lvalue_width(p, scope) for p in lhs.parts)
+        raise ElabError("unsupported lvalue", lhs.loc)
+
+    def _compile_stmt(
+        self,
+        stmt: ast.Stmt,
+        scope: _Scope,
+        buf: _CodeBuf,
+        writes: set[int],
+        reads: set[int],
+        in_sync: bool,
+    ) -> None:
+        if isinstance(stmt, ast.Block):
+            if not stmt.stmts:
+                buf.emit("pass")
+            for s in stmt.stmts:
+                self._compile_stmt(s, scope, buf, writes, reads, in_sync)
+            return
+        if isinstance(stmt, ast.Null):
+            buf.emit("pass")
+            return
+        if isinstance(stmt, ast.Assign):
+            code, width, r, _ = self._compile_expr(stmt.rhs, scope)
+            reads.update(r)
+            nonblocking = (not stmt.blocking) and in_sync
+            self._compile_store(
+                stmt.lhs, code, width, scope, buf, writes, reads, nonblocking
+            )
+            return
+        if isinstance(stmt, ast.If):
+            code, _, r, _ = self._compile_expr(stmt.cond, scope)
+            reads.update(r)
+            buf.emit(f"if {code}:")
+            buf.push()
+            self._compile_stmt(stmt.then, scope, buf, writes, reads, in_sync)
+            buf.pop()
+            if stmt.other is not None:
+                buf.emit("else:")
+                buf.push()
+                self._compile_stmt(stmt.other, scope, buf, writes, reads, in_sync)
+                buf.pop()
+            return
+        if isinstance(stmt, ast.Case):
+            subj_code, _, r, _ = self._compile_expr(stmt.subject, scope)
+            reads.update(r)
+            tmp = f"_s{self._proc_counter}_{len(buf.lines)}"
+            buf.emit(f"{tmp} = {subj_code}")
+            first = True
+            default: Optional[ast.Stmt] = None
+            for item in stmt.items:
+                if item.matches is None:
+                    default = item.body
+                    continue
+                conds = []
+                for match in item.matches:
+                    if isinstance(match, ast.WildcardLiteral):
+                        # casez: compare only the cared-about bits
+                        conds.append(
+                            f"({tmp} & {match.care_mask}) == {match.value}"
+                        )
+                        continue
+                    mcode, _, mr, _ = self._compile_expr(match, scope)
+                    reads.update(mr)
+                    conds.append(f"{tmp} == ({mcode})")
+                kw = "if" if first else "elif"
+                first = False
+                buf.emit(f"{kw} {' or '.join(conds)}:")
+                buf.push()
+                self._compile_stmt(item.body, scope, buf, writes, reads, in_sync)
+                buf.pop()
+            if default is not None:
+                if first:
+                    self._compile_stmt(default, scope, buf, writes, reads, in_sync)
+                else:
+                    buf.emit("else:")
+                    buf.push()
+                    self._compile_stmt(default, scope, buf, writes, reads, in_sync)
+                    buf.pop()
+            return
+        if isinstance(stmt, ast.For):
+            ref = scope.lookup(stmt.var, stmt.loc)
+            if not isinstance(ref, _SigRef):
+                raise ElabError(
+                    f"for-loop variable {stmt.var!r} must be an integer/reg",
+                    stmt.loc,
+                )
+            vidx, vmask = ref.sig.index, ref.sig.mask
+            writes.add(vidx)
+            reads.add(vidx)
+            init_code, _, r1, _ = self._compile_expr(stmt.init, scope)
+            cond_code, _, r2, _ = self._compile_expr(stmt.cond, scope)
+            step_code, _, r3, _ = self._compile_expr(stmt.step, scope)
+            reads.update(r1, r2, r3)
+            buf.emit(f"v[{vidx}] = ({init_code}) & {vmask}")
+            buf.emit(f"while {cond_code}:")
+            buf.push()
+            self._compile_stmt(stmt.body, scope, buf, writes, reads, in_sync)
+            buf.emit(f"v[{vidx}] = ({step_code}) & {vmask}")
+            buf.pop()
+            return
+        raise ElabError(f"unsupported statement {type(stmt).__name__}", stmt.loc)
+
+    # -- process materialisation ------------------------------------------------
+
+    def _materialize(self, name: str, header: str, buf: _CodeBuf):
+        src = header + "\n" + "\n".join(buf.lines or ["    pass"])
+        self._sources.append(f"# {name}\n{src}")
+        exec(src, self._namespace)  # noqa: S102 - compiling generated HDL code
+        return self._namespace[header.split()[1].split("(")[0]]
+
+    def _compile_cont_assign(self, item: ast.ContAssign, scope: _Scope) -> None:
+        self._compile_cont_assign_scoped(
+            item.lhs, item.rhs, lhs_scope=scope, rhs_scope=scope, name="assign"
+        )
+
+    def _compile_cont_assign_scoped(
+        self,
+        lhs: ast.Lvalue,
+        rhs: ast.Expr,
+        lhs_scope: _Scope,
+        rhs_scope: _Scope,
+        name: str,
+    ) -> None:
+        self._proc_counter += 1
+        fname = f"_comb_{self._proc_counter}"
+        buf = _CodeBuf()
+        writes: set[int] = set()
+        reads: set[int] = set()
+        code, width, r, _ = self._compile_expr(rhs, rhs_scope)
+        reads.update(r)
+        self._compile_store(
+            lhs, code, width, lhs_scope, buf, writes, reads, nonblocking=False
+        )
+        fn = self._materialize(name, f"def {fname}(v, m):", buf)
+        self.rtl.add_comb(fn, reads, writes, name=f"{lhs_scope.prefix}{name}")
+
+    def _compile_always(self, item: ast.AlwaysBlock, scope: _Scope) -> None:
+        self._proc_counter += 1
+        buf = _CodeBuf()
+        writes: set[int] = set()
+        reads: set[int] = set()
+        if item.sensitivity is None:
+            fname = f"_comb_{self._proc_counter}"
+            self._compile_stmt(item.body, scope, buf, writes, reads, in_sync=False)
+            fn = self._materialize(
+                f"always@* {item.loc}", f"def {fname}(v, m):", buf
+            )
+            self.rtl.add_comb(fn, reads, writes, name=f"{scope.prefix}comb@{item.loc.line}")
+            return
+        # Clocked process: first edge item is the clock.
+        clock_item = item.sensitivity[0]
+        ref = scope.lookup(clock_item.name, item.loc)
+        if not isinstance(ref, _SigRef):
+            raise ElabError(f"clock {clock_item.name!r} is not a signal", item.loc)
+        fname = f"_sync_{self._proc_counter}"
+        self._compile_stmt(item.body, scope, buf, writes, reads, in_sync=True)
+        fn = self._materialize(
+            f"always@({clock_item.edge}edge {clock_item.name}) {item.loc}",
+            f"def {fname}(v, m, nba, nbm):",
+            buf,
+        )
+        self.rtl.add_sync(
+            fn,
+            ref.sig,
+            edge=clock_item.edge or "pos",
+            reads=reads,
+            writes=writes,
+            name=f"{scope.prefix}sync@{item.loc.line}",
+        )
+
+
+def elaborate(
+    modules: dict[str, ast.ModuleDecl],
+    top: str,
+    params: Optional[dict[str, int]] = None,
+) -> RTLModule:
+    """Convenience wrapper: flatten + compile *top* with parameter overrides."""
+    return Elaborator(modules, top, params).elaborate()

@@ -1,0 +1,48 @@
+"""Verilog frontend (the Verilator-equivalent toolflow).
+
+    from repro.hdl.verilog import compile_verilog
+    rtl = compile_verilog(source_text, top="pmu")
+    sim = RTLSimulator(rtl)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...rtl.kernel import RTLModule
+from ..elaborator import elaborate
+from .lexer import tokenize
+from .parser import parse
+
+__all__ = ["compile_verilog", "parse", "tokenize"]
+
+
+def compile_verilog(
+    source: str,
+    top: Optional[str] = None,
+    params: Optional[dict[str, int]] = None,
+    filename: str = "<verilog>",
+) -> RTLModule:
+    """Parse + elaborate Verilog *source* into an executable RTLModule.
+
+    ``top`` defaults to the sole module in the source (error if ambiguous),
+    matching how Verilator requires the top module to be named only when
+    several candidates exist.
+    """
+    modules = parse(source, filename)
+    if top is None:
+        if len(modules) != 1:
+            raise ValueError(
+                f"multiple modules {sorted(modules)}; specify top explicitly"
+            )
+        top = next(iter(modules))
+    return elaborate(modules, top, params)
+
+
+def compile_verilog_file(
+    path: str,
+    top: Optional[str] = None,
+    params: Optional[dict[str, int]] = None,
+) -> RTLModule:
+    with open(path, "r", encoding="utf-8") as fh:
+        return compile_verilog(fh.read(), top, params, filename=path)

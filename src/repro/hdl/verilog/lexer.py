@@ -1,0 +1,202 @@
+"""Lexer for the synthesizable Verilog subset.
+
+Handles identifiers, decimal literals, based literals (``8'hFF``,
+``'b0101``, ``4'd9``, with ``_`` separators), operators (including the
+multi-character ``<=``, ``>>``, ``&&`` …), line and block comments, and
+the keyword set of the supported subset.
+"""
+
+from __future__ import annotations
+
+from ..common import LexError, Loc, Token
+
+KEYWORDS = frozenset(
+    """
+    module endmodule input output inout wire reg integer parameter localparam
+    assign always begin end if else case casez endcase default posedge negedge
+    or for initial genvar generate endgenerate function endfunction signed
+    """.split()
+)
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<<", ">>>",
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "+:", "-:",
+    "~&", "~|", "~^", "^~",
+    "(", ")", "[", "]", "{", "}", ",", ";", ":", "?", "=", "<", ">",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", ".", "#", "@",
+]
+
+
+def tokenize(source: str, filename: str = "<verilog>") -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def loc() -> Loc:
+        return Loc(line, col, filename)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            advance(source[i:end])
+            i = end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", loc())
+            advance(source[i : end + 2])
+            i = end + 2
+            continue
+        # compiler directives: skip to end of line (`timescale etc.)
+        if ch == "`":
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            advance(source[i:end])
+            i = end
+            continue
+        # based literal with explicit size: 8'hFF — or unsized 'b01
+        if ch.isdigit() or ch == "'":
+            start = i
+            start_loc = loc()
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "_"):
+                j += 1
+            if j < n and source[j] == "'":
+                j += 1
+                if j < n and source[j] in "sS":
+                    j += 1
+                if j >= n or source[j] not in "bBoOdDhH":
+                    raise LexError("malformed based literal", start_loc)
+                j += 1
+                while j < n and (source[j].isalnum() or source[j] in "_?"):
+                    j += 1
+                text = source[start:j]
+                tokens.append(Token("BASED", text, start_loc))
+                advance(text)
+                i = j
+                continue
+            if ch == "'":
+                raise LexError("malformed based literal", start_loc)
+            text = source[start:j]
+            tokens.append(Token("NUMBER", text, start_loc))
+            advance(text)
+            i = j
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_" or ch == "$":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_$"):
+                j += 1
+            text = source[i:j]
+            kind = "KW" if text in KEYWORDS else "ID"
+            tokens.append(Token(kind, text, loc()))
+            advance(text)
+            i = j
+            continue
+        # string literal (used only by $display-style constructs we skip)
+        if ch == '"':
+            j = source.find('"', i + 1)
+            if j < 0:
+                raise LexError("unterminated string", loc())
+            text = source[i : j + 1]
+            tokens.append(Token("STRING", text, loc()))
+            advance(text)
+            i = j + 1
+            continue
+        # operators
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, loc()))
+                advance(op)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+    tokens.append(Token("EOF", "", loc()))
+    return tokens
+
+
+def parse_based_literal(text: str, loc: Loc) -> tuple[int | None, int]:
+    """Decode a BASED token into ``(width_or_None, value)``.
+
+    >>> parse_based_literal("8'hFF", Loc(1, 1))
+    (8, 255)
+    """
+    width, value, _care = parse_based_pattern(text, loc)
+    digits = text.partition("'")[2].lstrip("sS")[1:]
+    if any(c in "?zZ" for c in digits):
+        raise LexError(
+            "wildcard bits are only allowed in case-item patterns", loc
+        )
+    return width, value
+
+
+def parse_based_pattern(text: str, loc: Loc) -> tuple[int | None, int, int]:
+    """Decode a BASED token into ``(width, value, care_mask)``.
+
+    ``?``/``z`` digits are don't-care (casez semantics); their positions
+    are cleared in the care mask.
+    """
+    size_part, _, rest = text.partition("'")
+    width = int(size_part.replace("_", "")) if size_part else None
+    rest = rest.lstrip("sS")
+    base_ch = rest[0].lower()
+    digits = rest[1:].replace("_", "")
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_ch]
+    bits_per = {2: 1, 8: 3, 16: 4}.get(base)
+    if not digits:
+        raise LexError("based literal has no digits", loc)
+    if width is not None and width <= 0:
+        raise LexError("literal width must be positive", loc)
+    wildcard_chars = set("?zZ")
+    if any(c in wildcard_chars for c in digits):
+        if bits_per is None:
+            raise LexError("wildcards not allowed in decimal literals", loc)
+        value = 0
+        care = 0
+        for ch in digits:
+            value <<= bits_per
+            care <<= bits_per
+            if ch in wildcard_chars:
+                continue
+            try:
+                value |= int(ch, base)
+            except ValueError:
+                raise LexError(
+                    f"bad digit {ch!r} for base-{base} literal", loc
+                ) from None
+            care |= (1 << bits_per) - 1
+        if width is not None:
+            mask = (1 << width) - 1
+            value &= mask
+            care &= mask
+        return width, value, care
+    try:
+        value = int(digits, base)
+    except ValueError:
+        raise LexError(f"bad digits for base-{base} literal: {digits!r}", loc) from None
+    if width is not None:
+        value &= (1 << width) - 1
+    care = (1 << width) - 1 if width is not None else (1 << 32) - 1
+    return width, value, care

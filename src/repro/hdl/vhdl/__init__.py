@@ -1,0 +1,49 @@
+"""VHDL frontend (the GHDL-equivalent toolflow).
+
+    from repro.hdl.vhdl import compile_vhdl
+    rtl = compile_vhdl(source_text, top="bitonic8")
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...rtl.kernel import RTLModule
+from ..elaborator import elaborate
+from .lexer import tokenize
+from .parser import parse
+
+__all__ = ["compile_vhdl", "parse", "tokenize"]
+
+
+def compile_vhdl(
+    source: str,
+    top: Optional[str] = None,
+    params: Optional[dict[str, int]] = None,
+    filename: str = "<vhdl>",
+) -> RTLModule:
+    """Parse + elaborate VHDL *source* into an executable RTLModule.
+
+    ``top`` defaults to the sole entity with an architecture in the source.
+    ``params`` overrides generics (GHDL's ``-gNAME=VALUE``).
+    """
+    modules = parse(source, filename)
+    if top is None:
+        if len(modules) != 1:
+            raise ValueError(
+                f"multiple entities {sorted(modules)}; specify top explicitly"
+            )
+        top = next(iter(modules))
+    # VHDL is case-insensitive; the parser normalises to lower case.
+    top = top.lower()
+    params = {k.lower(): v for k, v in params.items()} if params else None
+    return elaborate(modules, top, params)
+
+
+def compile_vhdl_file(
+    path: str,
+    top: Optional[str] = None,
+    params: Optional[dict[str, int]] = None,
+) -> RTLModule:
+    with open(path, "r", encoding="utf-8") as fh:
+        return compile_vhdl(fh.read(), top, params, filename=path)

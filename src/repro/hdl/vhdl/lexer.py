@@ -1,0 +1,142 @@
+"""Lexer for the synthesizable VHDL subset.
+
+VHDL is case-insensitive: keywords and identifiers are normalised to
+lower case.  Handles ``--`` comments, character literals (``'0'``), bit
+strings (``"0101"``), hex bit strings (``x"FF"``), integers, and the
+operator set (including ``=>``, ``<=``, ``:=``, ``/=``).
+"""
+
+from __future__ import annotations
+
+from ..common import LexError, Loc, Token
+
+KEYWORDS = frozenset(
+    """
+    library use entity is port generic in out end architecture of signal
+    begin process if then elsif else case when others loop for to downto
+    and or xor nand nor xnor not sll srl mod rem abs generate
+    rising_edge falling_edge variable constant type array range null
+    component map all integer natural positive boolean std_logic
+    std_logic_vector unsigned signed bit bit_vector work report severity
+    wait
+    """.split()
+)
+
+OPERATORS = [
+    "=>", "<=", ":=", "/=", ">=", "**",
+    "(", ")", ",", ";", ":", "'", "&", "+", "-", "*", "/",
+    "=", "<", ">", ".", "|",
+]
+
+
+def tokenize(source: str, filename: str = "<vhdl>") -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def loc() -> Loc:
+        return Loc(line, col, filename)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        for ch in text:
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            i += 1
+            continue
+        if source.startswith("--", i):
+            end = source.find("\n", i)
+            end = n if end < 0 else end
+            advance(source[i:end])
+            i = end
+            continue
+        # hex/binary bit-string: x"FF" / b"0101"
+        if ch.lower() in "xb" and i + 1 < n and source[i + 1] == '"':
+            j = source.find('"', i + 2)
+            if j < 0:
+                raise LexError("unterminated bit string", loc())
+            text = source[i : j + 1]
+            tokens.append(Token("BITSTRING", text.lower(), loc()))
+            advance(text)
+            i = j + 1
+            continue
+        # string / bit-vector literal: "0101"
+        if ch == '"':
+            j = source.find('"', i + 1)
+            if j < 0:
+                raise LexError("unterminated string", loc())
+            text = source[i : j + 1]
+            tokens.append(Token("BITSTRING", text, loc()))
+            advance(text)
+            i = j + 1
+            continue
+        # character literal: '0' — but a lone ' is the attribute tick.
+        if ch == "'" and i + 2 < n and source[i + 2] == "'":
+            text = source[i : i + 3]
+            tokens.append(Token("CHAR", text, loc()))
+            advance(text)
+            i += 3
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            tokens.append(Token("NUMBER", text, loc()))
+            advance(text)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j].lower()
+            kind = "KW" if text in KEYWORDS else "ID"
+            tokens.append(Token(kind, text, loc()))
+            advance(source[i:j])
+            i = j
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, loc()))
+                advance(op)
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc())
+    tokens.append(Token("EOF", "", loc()))
+    return tokens
+
+
+def parse_bitstring(text: str, loc: Loc) -> tuple[int, int]:
+    """Decode a BITSTRING token into ``(width, value)``.
+
+    >>> parse_bitstring('"0101"', Loc(1, 1))
+    (4, 5)
+    >>> parse_bitstring('x"ff"', Loc(1, 1))
+    (8, 255)
+    """
+    if text.startswith('"'):
+        digits = text.strip('"').replace("_", "")
+        if not digits or any(c not in "01" for c in digits):
+            raise LexError(f"bad bit string {text!r}", loc)
+        return len(digits), int(digits, 2)
+    base_ch = text[0]
+    digits = text[2:-1].replace("_", "")
+    if base_ch == "x":
+        if not digits:
+            raise LexError("empty hex bit string", loc)
+        return len(digits) * 4, int(digits, 16)
+    if base_ch == "b":
+        return len(digits), int(digits, 2)
+    raise LexError(f"unsupported bit string base {base_ch!r}", loc)

@@ -1,0 +1,793 @@
+"""Recursive-descent parser for the synthesizable VHDL subset.
+
+Lowers entities/architectures into the shared HDL AST (the same one the
+Verilog frontend targets), so one elaborator serves both toolflows —
+mirroring the paper's claim that Verilator- and GHDL-produced models are
+interchangeable behind the wrapper.
+
+Supported: entity with generics/ports, architecture with signal/constant
+declarations, concurrent (conditional) assignments, clocked processes
+using ``rising_edge``/``falling_edge`` (with optional synchronous-reset
+``if rst = '1' … elsif rising_edge(clk)`` form), combinational processes,
+``if``/``elsif``/``else``, ``case``/``when``, ``for … loop``, entity
+instantiation, and the numeric_std conversion functions (treated as
+identity over unsigned bit vectors).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields as dc_fields
+from typing import Optional
+
+from .. import ast
+from ..common import ParseError, TokenStream
+from .lexer import parse_bitstring, tokenize
+
+# numeric_std / std_logic_1164 functions treated as identity casts
+_IDENTITY_FUNCS = frozenset(
+    ["unsigned", "signed", "std_logic_vector", "to_integer", "to_stdlogicvector"]
+)
+
+_loop_counter = itertools.count()
+
+
+def parse(source: str, filename: str = "<vhdl>") -> dict[str, ast.ModuleDecl]:
+    """Parse *source*; returns ``{entity_name: ModuleDecl}``."""
+    ts = TokenStream(tokenize(source, filename))
+    entities: dict[str, _Entity] = {}
+    modules: dict[str, ast.ModuleDecl] = {}
+    while not ts.at_eof():
+        tok = ts.peek()
+        if tok.is_kw("library"):
+            ts.next()
+            ts.expect_id()
+            ts.expect_op(";")
+        elif tok.is_kw("use"):
+            ts.next()
+            while not ts.peek().is_op(";"):
+                ts.next()
+            ts.expect_op(";")
+        elif tok.is_kw("entity"):
+            ent = _parse_entity(ts)
+            entities[ent.name] = ent
+        elif tok.is_kw("architecture"):
+            name, mod = _parse_architecture(ts, entities)
+            modules[name] = mod
+        else:
+            raise ParseError(f"unexpected token {tok.text!r} at design level", tok.loc)
+    if not modules:
+        raise ParseError("no architectures found", ts.peek().loc)
+    return modules
+
+
+class _Entity:
+    def __init__(self, name: str, loc) -> None:
+        self.name = name
+        self.loc = loc
+        self.generics: list[ast.ParamDecl] = []
+        self.ports: list[ast.NetDecl] = []
+
+
+# ---------------------------------------------------------------------------
+# entity / architecture structure
+# ---------------------------------------------------------------------------
+
+
+def _parse_type(ts: TokenStream) -> Optional[ast.Range]:
+    """Parse a subtype indication; returns the vector range (None = 1 bit).
+
+    ``integer``/``natural``/``positive`` map to a 32-bit range.
+    """
+    tok = ts.next()
+    if tok.is_kw("std_logic", "bit", "boolean"):
+        return None
+    if tok.is_kw("integer", "natural", "positive"):
+        loc = tok.loc
+        if ts.accept_kw("range"):  # integer range 0 to N: ignore bounds
+            _parse_expr(ts)
+            if not (ts.accept_kw("to") or ts.accept_kw("downto")):
+                raise ParseError("expected to/downto in integer range", loc)
+            _parse_expr(ts)
+        return ast.Range(ast.Literal(loc, 31, None), ast.Literal(loc, 0, None))
+    if tok.is_kw("std_logic_vector", "unsigned", "signed", "bit_vector"):
+        ts.expect_op("(")
+        left = _parse_expr(ts)
+        if ts.accept_kw("downto"):
+            msb, lsb = left, _parse_expr(ts)
+        elif ts.accept_kw("to"):
+            lsb, msb = left, _parse_expr(ts)
+        else:
+            raise ParseError("expected downto/to in vector range", tok.loc)
+        ts.expect_op(")")
+        return ast.Range(msb, lsb)
+    raise ParseError(f"unsupported type {tok.text!r}", tok.loc)
+
+
+def _parse_entity(ts: TokenStream) -> _Entity:
+    kw = ts.expect_kw("entity")
+    name = ts.expect_id().text
+    ts.expect_kw("is")
+    ent = _Entity(name, kw.loc)
+    if ts.accept_kw("generic"):
+        ts.expect_op("(")
+        while True:
+            gname = ts.expect_id().text
+            ts.expect_op(":")
+            _parse_type(ts)
+            default: ast.Expr = ast.Literal(kw.loc, 0, None)
+            if ts.accept_op(":="):
+                default = _parse_expr(ts)
+            ent.generics.append(ast.ParamDecl(kw.loc, gname, default))
+            if not ts.accept_op(";"):
+                break
+        ts.expect_op(")")
+        ts.expect_op(";")
+    if ts.accept_kw("port"):
+        ts.expect_op("(")
+        while True:
+            names = [ts.expect_id().text]
+            while ts.accept_op(","):
+                names.append(ts.expect_id().text)
+            ts.expect_op(":")
+            dir_tok = ts.next()
+            if not dir_tok.is_kw("in", "out"):
+                raise ParseError(
+                    f"expected in/out, found {dir_tok.text!r}", dir_tok.loc
+                )
+            direction = "input" if dir_tok.text == "in" else "output"
+            rng = _parse_type(ts)
+            for pname in names:
+                ent.ports.append(
+                    ast.NetDecl(
+                        dir_tok.loc, pname, rng=rng, kind="reg", direction=direction
+                    )
+                )
+            if not ts.accept_op(";"):
+                break
+        ts.expect_op(")")
+        ts.expect_op(";")
+    ts.expect_kw("end")
+    ts.accept_kw("entity")
+    if ts.peek().kind == "ID":
+        ts.next()
+    ts.expect_op(";")
+    return ent
+
+
+def _parse_architecture(
+    ts: TokenStream, entities: dict[str, _Entity]
+) -> tuple[str, ast.ModuleDecl]:
+    kw = ts.expect_kw("architecture")
+    ts.expect_id()  # architecture name
+    ts.expect_kw("of")
+    ent_name = ts.expect_id().text
+    ts.expect_kw("is")
+    if ent_name not in entities:
+        raise ParseError(f"architecture of unknown entity {ent_name!r}", kw.loc)
+    ent = entities[ent_name]
+    mod = ast.ModuleDecl(kw.loc, ent_name)
+    mod.items.extend(ent.generics)
+    mod.items.extend(ent.ports)
+
+    # declarative part
+    while not ts.peek().is_kw("begin"):
+        tok = ts.peek()
+        if tok.is_kw("signal"):
+            ts.next()
+            names = [ts.expect_id().text]
+            while ts.accept_op(","):
+                names.append(ts.expect_id().text)
+            ts.expect_op(":")
+            rng = _parse_type(ts)
+            init = None
+            if ts.accept_op(":="):
+                init = _parse_expr(ts)
+            ts.expect_op(";")
+            for sname in names:
+                mod.items.append(
+                    ast.NetDecl(tok.loc, sname, rng=rng, kind="reg", init=init)
+                )
+        elif tok.is_kw("constant"):
+            ts.next()
+            cname = ts.expect_id().text
+            ts.expect_op(":")
+            _parse_type(ts)
+            ts.expect_op(":=")
+            value = _parse_expr(ts)
+            ts.expect_op(";")
+            mod.items.append(ast.ParamDecl(tok.loc, cname, value, is_local=True))
+        elif tok.is_kw("component"):
+            # skip component declarations (we use entity instantiation)
+            while not ts.peek().is_kw("component") or not ts.peek(1).is_op(";"):
+                if ts.peek().is_kw("end") and ts.peek(1).is_kw("component"):
+                    ts.next()
+                    break
+                ts.next()
+            ts.expect_kw("component")
+            ts.expect_op(";")
+        else:
+            raise ParseError(
+                f"unexpected token {tok.text!r} in declarations", tok.loc
+            )
+    ts.expect_kw("begin")
+
+    while not ts.peek().is_kw("end"):
+        _parse_concurrent(ts, mod)
+    ts.expect_kw("end")
+    ts.accept_kw("architecture")
+    if ts.peek().kind == "ID":
+        ts.next()
+    ts.expect_op(";")
+
+    # Hoist implicit for-loop variable declarations to module scope.
+    decls: list[ast.NetDecl] = []
+    for item in mod.items:
+        if isinstance(item, ast.AlwaysBlock):
+            item.body = _hoist_loop_decls(item.body, decls)
+    mod.items.extend(decls)
+    return ent_name, mod
+
+
+def _hoist_loop_decls(stmt: ast.Stmt, decls: list[ast.NetDecl]) -> ast.Stmt:
+    """Replace _ForWithDecl wrappers with their loops, collecting decls."""
+    if isinstance(stmt, _ForWithDecl):
+        decls.append(stmt.decl)
+        loop = stmt.loop
+        loop.body = _hoist_loop_decls(loop.body, decls)
+        return loop
+    if isinstance(stmt, ast.Block):
+        stmt.stmts = [_hoist_loop_decls(s, decls) for s in stmt.stmts]
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.then = _hoist_loop_decls(stmt.then, decls)
+        if stmt.other is not None:
+            stmt.other = _hoist_loop_decls(stmt.other, decls)
+        return stmt
+    if isinstance(stmt, ast.Case):
+        for item in stmt.items:
+            item.body = _hoist_loop_decls(item.body, decls)
+        return stmt
+    if isinstance(stmt, ast.For):
+        stmt.body = _hoist_loop_decls(stmt.body, decls)
+        return stmt
+    return stmt
+
+
+def _parse_concurrent(ts: TokenStream, mod) -> None:
+    tok = ts.peek()
+    label = None
+    if tok.kind == "ID" and ts.peek(1).is_op(":"):
+        label = ts.next().text
+        ts.expect_op(":")
+        tok = ts.peek()
+    if tok.is_kw("process"):
+        mod.items.append(_parse_process(ts, label))
+        return
+    if tok.is_kw("entity"):
+        mod.items.append(_parse_instance(ts, label))
+        return
+    if tok.is_kw("for"):
+        mod.items.append(_parse_for_generate(ts, label))
+        return
+    # concurrent signal assignment (possibly conditional when/else chain)
+    lhs = _parse_lvalue(ts)
+    ts.expect_op("<=")
+    rhs = _parse_when_else(ts)
+    ts.expect_op(";")
+    mod.items.append(ast.ContAssign(tok.loc, lhs, rhs))
+
+
+_vhdl_gen_counter = [0]
+
+
+def _parse_for_generate(ts: TokenStream, label) -> ast.GenerateFor:
+    """``label : for i in LO to HI generate … end generate [label];``"""
+    kw = ts.expect_kw("for")
+    var = ts.expect_id().text
+    ts.expect_kw("in")
+    left = _parse_expr(ts)
+    descending = bool(ts.accept_kw("downto"))
+    if not descending:
+        ts.expect_kw("to")
+    right = _parse_expr(ts)
+    ts.expect_kw("generate")
+    if label is None:
+        _vhdl_gen_counter[0] += 1
+        label = f"gen{_vhdl_gen_counter[0]}"
+    # ascending: init=left, stop at right; descending: init=left (the
+    # high bound), wrap-safe window check (values are unsigned)
+    lo, hi = (right, left) if descending else (left, right)
+    step_op = "-" if descending else "+"
+    gen = ast.GenerateFor(
+        kw.loc,
+        var,
+        init=left,
+        cond=ast.Binary(
+            kw.loc, "&&",
+            ast.Binary(kw.loc, "<=", lo, ast.Ident(kw.loc, var)),
+            ast.Binary(kw.loc, "<=", ast.Ident(kw.loc, var), hi),
+        ),
+        step=ast.Binary(kw.loc, step_op, ast.Ident(kw.loc, var),
+                        ast.Literal(kw.loc, 1, None)),
+        label=label,
+    )
+    while not ts.peek().is_kw("end"):
+        _parse_concurrent(ts, gen)
+    ts.expect_kw("end")
+    ts.expect_kw("generate")
+    if ts.peek().kind == "ID":
+        ts.next()
+    ts.expect_op(";")
+    return gen
+
+
+def _parse_when_else(ts: TokenStream) -> ast.Expr:
+    value = _parse_expr(ts)
+    if ts.accept_kw("when"):
+        cond = _parse_expr(ts)
+        ts.expect_kw("else")
+        other = _parse_when_else(ts)
+        return ast.Ternary(value.loc, cond, value, other)
+    return value
+
+
+def _parse_instance(ts: TokenStream, label: Optional[str]) -> ast.Instance:
+    kw = ts.expect_kw("entity")
+    ts.expect_kw("work")
+    ts.expect_op(".")
+    ent_name = ts.expect_id().text
+    params: dict[str, ast.Expr] = {}
+    conns: dict[str, Optional[ast.Expr]] = {}
+    if ts.accept_kw("generic"):
+        ts.expect_kw("map")
+        ts.expect_op("(")
+        while True:
+            pname = ts.expect_id().text
+            ts.expect_op("=>")
+            params[pname] = _parse_expr(ts)
+            if not ts.accept_op(","):
+                break
+        ts.expect_op(")")
+    ts.expect_kw("port")
+    ts.expect_kw("map")
+    ts.expect_op("(")
+    while True:
+        pname = ts.expect_id().text
+        ts.expect_op("=>")
+        if ts.peek().is_kw("open"):
+            ts.next()
+            conns[pname] = None
+        else:
+            conns[pname] = _parse_expr(ts)
+        if not ts.accept_op(","):
+            break
+    ts.expect_op(")")
+    ts.expect_op(";")
+    return ast.Instance(kw.loc, ent_name, label or f"u_{ent_name}", params, conns)
+
+
+# ---------------------------------------------------------------------------
+# processes
+# ---------------------------------------------------------------------------
+
+
+def _parse_process(ts: TokenStream, label: Optional[str]) -> ast.AlwaysBlock:
+    kw = ts.expect_kw("process")
+    sens_names: list[str] = []
+    if ts.accept_op("("):
+        if ts.accept_kw("all"):
+            pass
+        else:
+            sens_names.append(ts.expect_id().text)
+            while ts.accept_op(","):
+                sens_names.append(ts.expect_id().text)
+        ts.expect_op(")")
+    ts.accept_kw("is")
+    while not ts.peek().is_kw("begin"):  # skip process-local declarations
+        tok = ts.peek()
+        if tok.is_kw("variable"):
+            raise ParseError(
+                "process variables are not supported; use signals", tok.loc
+            )
+        ts.next()
+    ts.expect_kw("begin")
+    stmts: list[ast.Stmt] = []
+    while not ts.peek().is_kw("end"):
+        stmts.append(_parse_seq_stmt(ts))
+    ts.expect_kw("end")
+    ts.expect_kw("process")
+    if ts.peek().kind == "ID":
+        ts.next()
+    ts.expect_op(";")
+
+    body = ast.Block(kw.loc, stmts)
+    clocked = _extract_clocked(body)
+    if clocked is not None:
+        edge, clk_name, sync_body = clocked
+        return ast.AlwaysBlock(
+            kw.loc, [ast.SensItem(edge, clk_name)], sync_body,
+            name=label or "process",
+        )
+    return ast.AlwaysBlock(kw.loc, None, body, name=label or "process")
+
+
+def _extract_clocked(body: ast.Block):
+    """Recognise the clocked-process idioms.
+
+    Form 1: ``if rising_edge(clk) then BODY end if;``
+    Form 2: ``if RST_COND then A elsif rising_edge(clk) then B end if;``
+            (synchronous-reset approximation of the async-reset idiom)
+
+    Returns ``(edge, clk_name, body_stmt)`` or None for combinational.
+    """
+    if len(body.stmts) != 1 or not isinstance(body.stmts[0], ast.If):
+        return None
+    top = body.stmts[0]
+    edge_info = _edge_cond(top.cond)
+    if edge_info is not None:
+        if top.other is not None:
+            return None
+        return edge_info[0], edge_info[1], top.then
+    # form 2: reset first, clock in the elsif
+    if isinstance(top.other, ast.If):
+        inner = top.other
+        edge_info = _edge_cond(inner.cond)
+        if edge_info is not None and inner.other is None:
+            merged = ast.If(top.loc, top.cond, top.then, inner.then)
+            return edge_info[0], edge_info[1], merged
+    return None
+
+
+def _edge_cond(expr: ast.Expr):
+    """Match the ``rising_edge(clk)`` markers produced by _parse_primary."""
+    if isinstance(expr, ast.Ident) and expr.name.startswith("__edge__"):
+        _, _, rest = expr.name.partition("__edge__")
+        edge, _, clk = rest.partition("__")
+        return edge, clk
+    return None
+
+
+def _parse_seq_stmt(ts: TokenStream) -> ast.Stmt:
+    tok = ts.peek()
+    if tok.is_kw("null"):
+        ts.next()
+        ts.expect_op(";")
+        return ast.Null(tok.loc)
+    if tok.is_kw("if"):
+        return _parse_if(ts)
+    if tok.is_kw("case"):
+        return _parse_case(ts)
+    if tok.is_kw("for"):
+        return _parse_for(ts)
+    if tok.is_kw("report"):
+        while not ts.peek().is_op(";"):
+            ts.next()
+        ts.expect_op(";")
+        return ast.Null(tok.loc)
+    lhs = _parse_lvalue(ts)
+    ts.expect_op("<=")
+    rhs = _parse_expr(ts)
+    ts.expect_op(";")
+    # VHDL signal assignment == non-blocking
+    return ast.Assign(tok.loc, lhs, rhs, blocking=False)
+
+
+def _parse_if(ts: TokenStream) -> ast.If:
+    kw = ts.expect_kw("if")
+    cond = _parse_expr(ts)
+    ts.expect_kw("then")
+    then_stmts: list[ast.Stmt] = []
+    while not ts.peek().is_kw("elsif", "else", "end"):
+        then_stmts.append(_parse_seq_stmt(ts))
+    node = ast.If(kw.loc, cond, ast.Block(kw.loc, then_stmts), None)
+    tail = node
+    while ts.peek().is_kw("elsif"):
+        e = ts.next()
+        econd = _parse_expr(ts)
+        ts.expect_kw("then")
+        estmts: list[ast.Stmt] = []
+        while not ts.peek().is_kw("elsif", "else", "end"):
+            estmts.append(_parse_seq_stmt(ts))
+        new_if = ast.If(e.loc, econd, ast.Block(e.loc, estmts), None)
+        tail.other = new_if
+        tail = new_if
+    if ts.accept_kw("else"):
+        estmts = []
+        while not ts.peek().is_kw("end"):
+            estmts.append(_parse_seq_stmt(ts))
+        tail.other = ast.Block(kw.loc, estmts)
+    ts.expect_kw("end")
+    ts.expect_kw("if")
+    ts.expect_op(";")
+    return node
+
+
+def _parse_case(ts: TokenStream) -> ast.Case:
+    kw = ts.expect_kw("case")
+    subject = _parse_expr(ts)
+    ts.expect_kw("is")
+    items: list[ast.CaseItem] = []
+    while ts.peek().is_kw("when"):
+        ts.next()
+        if ts.accept_kw("others"):
+            matches = None
+        else:
+            matches = [_parse_expr(ts)]
+            while ts.accept_op("|"):
+                matches.append(_parse_expr(ts))
+        ts.expect_op("=>")
+        stmts: list[ast.Stmt] = []
+        while not ts.peek().is_kw("when", "end"):
+            stmts.append(_parse_seq_stmt(ts))
+        items.append(ast.CaseItem(matches, ast.Block(kw.loc, stmts)))
+    ts.expect_kw("end")
+    ts.expect_kw("case")
+    ts.expect_op(";")
+    return ast.Case(kw.loc, subject, items)
+
+
+def _parse_for(ts: TokenStream) -> ast.Stmt:
+    kw = ts.expect_kw("for")
+    var = ts.expect_id().text
+    ts.expect_kw("in")
+    left = _parse_expr(ts)
+    descending = False
+    if ts.accept_kw("downto"):
+        descending = True
+    else:
+        ts.expect_kw("to")
+    right = _parse_expr(ts)
+    ts.expect_kw("loop")
+    stmts: list[ast.Stmt] = []
+    while not ts.peek().is_kw("end"):
+        stmts.append(_parse_seq_stmt(ts))
+    ts.expect_kw("end")
+    ts.expect_kw("loop")
+    ts.expect_op(";")
+
+    # VHDL loop variables are implicitly declared; mangle to a unique
+    # module-level integer and rewrite references inside the body.
+    mangled = f"{var}__loop{next(_loop_counter)}"
+    body = ast.Block(kw.loc, stmts)
+    _rename_ident(body, var, mangled)
+    lo, hi = (right, left) if descending else (left, right)
+    init = left
+    step_op = "-" if descending else "+"
+    step = ast.Binary(kw.loc, step_op, ast.Ident(kw.loc, mangled),
+                      ast.Literal(kw.loc, 1, None))
+    # Wrap-safe bounds check handles both directions (values are unsigned).
+    cond = ast.Binary(
+        kw.loc,
+        "&&",
+        ast.Binary(kw.loc, "<=", lo, ast.Ident(kw.loc, mangled)),
+        ast.Binary(kw.loc, "<=", ast.Ident(kw.loc, mangled), hi),
+    )
+    loop = ast.For(kw.loc, mangled, init, cond, step, body)
+    # Declaration for the loop variable travels with the statement; the
+    # architecture parser hoists it.
+    loop_decl = ast.NetDecl(kw.loc, mangled, rng=None, kind="integer")
+    return _ForWithDecl(kw.loc, loop, loop_decl)
+
+
+class _ForWithDecl(ast.Stmt):
+    """Internal: a For plus its implicit loop-variable declaration."""
+
+    def __init__(self, loc, loop: ast.For, decl: ast.NetDecl) -> None:
+        super().__init__(loc)
+        self.loop = loop
+        self.decl = decl
+
+
+def _rename_ident(node, old: str, new: str) -> None:
+    """Rewrite Ident/Index/Slice references to *old* inside an AST subtree."""
+    if isinstance(node, ast.Ident) and node.name == old:
+        node.name = new
+        return
+    if isinstance(node, (ast.Index, ast.Slice, ast.LvIndex, ast.LvSlice)):
+        if node.name == old:
+            node.name = new
+    if isinstance(node, list):
+        for item in node:
+            _rename_ident(item, old, new)
+        return
+    if hasattr(node, "__dataclass_fields__"):
+        for f in dc_fields(node):
+            value = getattr(node, f.name)
+            if isinstance(value, (ast.Expr, ast.Stmt, ast.Lvalue, list)):
+                _rename_ident(value, old, new)
+    if isinstance(node, _ForWithDecl):
+        _rename_ident(node.loop, old, new)
+    if isinstance(node, ast.CaseItem):
+        _rename_ident(node.body, old, new)
+        if node.matches:
+            _rename_ident(node.matches, old, new)
+    if isinstance(node, ast.Case):
+        for item in node.items:
+            _rename_ident(item, old, new)
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+_LOGICAL = {"and": "&", "or": "|", "xor": "^", "xnor": "^~"}
+_RELATIONAL = {"=": "==", "/=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+_SHIFT = {"sll": "<<", "srl": ">>"}
+_ADDING = {"+": "+", "-": "-"}
+_MULT = {"*": "*", "/": "/", "mod": "%", "rem": "%"}
+
+
+def _parse_expr(ts: TokenStream) -> ast.Expr:
+    return _parse_logical(ts)
+
+
+def _parse_logical(ts: TokenStream) -> ast.Expr:
+    left = _parse_relational(ts)
+    while True:
+        tok = ts.peek()
+        if tok.is_kw("and", "or", "xor", "xnor"):
+            ts.next()
+            right = _parse_relational(ts)
+            left = ast.Binary(tok.loc, _LOGICAL[tok.text], left, right)
+        elif tok.is_kw("nand", "nor"):
+            ts.next()
+            right = _parse_relational(ts)
+            inner_op = "&" if tok.text == "nand" else "|"
+            left = ast.Unary(
+                tok.loc, "~", ast.Binary(tok.loc, inner_op, left, right)
+            )
+        else:
+            return left
+
+
+def _parse_relational(ts: TokenStream) -> ast.Expr:
+    left = _parse_shift(ts)
+    tok = ts.peek()
+    if tok.kind == "OP" and tok.text in _RELATIONAL:
+        ts.next()
+        right = _parse_shift(ts)
+        return ast.Binary(tok.loc, _RELATIONAL[tok.text], left, right)
+    return left
+
+
+def _parse_shift(ts: TokenStream) -> ast.Expr:
+    left = _parse_adding(ts)
+    tok = ts.peek()
+    if tok.is_kw("sll", "srl"):
+        ts.next()
+        right = _parse_adding(ts)
+        return ast.Binary(tok.loc, _SHIFT[tok.text], left, right)
+    return left
+
+
+def _parse_adding(ts: TokenStream) -> ast.Expr:
+    left = _parse_mult(ts)
+    while True:
+        tok = ts.peek()
+        if tok.is_op("+", "-"):
+            ts.next()
+            right = _parse_mult(ts)
+            left = ast.Binary(tok.loc, tok.text, left, right)
+        elif tok.is_op("&"):  # VHDL concatenation
+            ts.next()
+            right = _parse_mult(ts)
+            if isinstance(left, ast.Concat):
+                left.parts.append(right)
+            else:
+                left = ast.Concat(tok.loc, [left, right])
+        else:
+            return left
+
+
+def _parse_mult(ts: TokenStream) -> ast.Expr:
+    left = _parse_unary(ts)
+    while True:
+        tok = ts.peek()
+        if tok.is_op("*", "/") or tok.is_kw("mod", "rem"):
+            ts.next()
+            right = _parse_unary(ts)
+            left = ast.Binary(tok.loc, _MULT[tok.text], left, right)
+        else:
+            return left
+
+
+def _parse_unary(ts: TokenStream) -> ast.Expr:
+    tok = ts.peek()
+    if tok.is_kw("not"):
+        ts.next()
+        return ast.Unary(tok.loc, "~", _parse_unary(ts))
+    if tok.is_op("-"):
+        ts.next()
+        return ast.Unary(tok.loc, "-", _parse_unary(ts))
+    if tok.is_op("+"):
+        ts.next()
+        return _parse_unary(ts)
+    return _parse_primary(ts)
+
+
+def _parse_primary(ts: TokenStream) -> ast.Expr:
+    tok = ts.peek()
+    if tok.kind == "NUMBER":
+        ts.next()
+        return ast.Literal(tok.loc, int(tok.text.replace("_", "")), None)
+    if tok.kind == "CHAR":
+        ts.next()
+        bit = tok.text[1]
+        return ast.Literal(tok.loc, 1 if bit == "1" else 0, 1)
+    if tok.kind == "BITSTRING":
+        ts.next()
+        width, value = parse_bitstring(tok.text, tok.loc)
+        return ast.Literal(tok.loc, value, width)
+    if tok.is_op("("):
+        ts.next()
+        if ts.peek().is_kw("others"):
+            ts.next()
+            ts.expect_op("=>")
+            fill = ts.next()
+            if fill.kind != "CHAR" or fill.text[1] not in "01":
+                raise ParseError("aggregate fill must be '0' or '1'", fill.loc)
+            if fill.text[1] == "1":
+                raise ParseError(
+                    "(others => '1') is not supported; use an explicit "
+                    "constant of the target width",
+                    fill.loc,
+                )
+            ts.expect_op(")")
+            return ast.Literal(tok.loc, 0, None)
+        inner = _parse_expr(ts)
+        ts.expect_op(")")
+        return inner
+    if tok.is_kw("rising_edge", "falling_edge"):
+        ts.next()
+        ts.expect_op("(")
+        clk = ts.expect_id().text
+        ts.expect_op(")")
+        edge = "pos" if tok.text == "rising_edge" else "neg"
+        return ast.Ident(tok.loc, f"__edge__{edge}__{clk}")
+    if tok.kind == "ID" or tok.is_kw(
+        "unsigned", "signed", "std_logic_vector", "integer"
+    ):
+        ts.next()
+        name = tok.text
+        if name in _IDENTITY_FUNCS and ts.peek().is_op("("):
+            ts.next()
+            inner = _parse_expr(ts)
+            ts.expect_op(")")
+            return inner
+        if name in ("to_unsigned", "resize") and ts.peek().is_op("("):
+            ts.next()
+            inner = _parse_expr(ts)
+            ts.expect_op(",")
+            _parse_expr(ts)  # target width: values are already unsigned ints
+            ts.expect_op(")")
+            return inner
+        if ts.peek().is_op("("):
+            ts.next()
+            first = _parse_expr(ts)
+            if ts.accept_kw("downto"):
+                lsb = _parse_expr(ts)
+                ts.expect_op(")")
+                return ast.Slice(tok.loc, name, first, lsb)
+            if ts.accept_kw("to"):
+                msb = _parse_expr(ts)
+                ts.expect_op(")")
+                return ast.Slice(tok.loc, name, msb, first)
+            ts.expect_op(")")
+            return ast.Index(tok.loc, name, first)
+        return ast.Ident(tok.loc, name)
+    raise ParseError(f"unexpected token {tok.text!r} in expression", tok.loc)
+
+
+def _parse_lvalue(ts: TokenStream) -> ast.Lvalue:
+    tok = ts.expect_id()
+    name = tok.text
+    if ts.accept_op("("):
+        first = _parse_expr(ts)
+        if ts.accept_kw("downto"):
+            lsb = _parse_expr(ts)
+            ts.expect_op(")")
+            return ast.LvSlice(tok.loc, name, first, lsb)
+        ts.expect_op(")")
+        return ast.LvIndex(tok.loc, name, first)
+    return ast.LvId(tok.loc, name)

@@ -1,0 +1,26 @@
+"""A small RV32I-flavoured ISA: assembler, interpreter, µop lowering.
+
+Lets workloads be real assembly programs executed on the timing cores
+(the closest laptop-scale equivalent of the paper's "boot Linux and run
+complex workloads").
+"""
+
+from .assembler import AsmError, Assembler, Program, assemble
+from .insts import Inst, decode, encode, reg_number
+from .interp import ISAError, ISAThread, run_program
+from . import programs
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "ISAError",
+    "ISAThread",
+    "Inst",
+    "Program",
+    "assemble",
+    "decode",
+    "encode",
+    "programs",
+    "reg_number",
+    "run_program",
+]

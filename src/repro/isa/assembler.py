@@ -1,0 +1,323 @@
+"""Two-pass assembler for the repro ISA.
+
+Syntax (one instruction per line; ``#`` or ``;`` comments)::
+
+    # data
+    .org   0x1000
+    array: .word 5, 3, 8, 1
+    buf:   .space 64
+
+    # code
+    .org   0x0
+    main:
+        li   a0, 0x1000        # pseudo: lui+ori as needed
+        lw   t0, 0(a0)
+        addi t0, t0, 1
+        sw   t0, 4(a0)
+        beq  t0, zero, done
+        j    main
+    done:
+        halt
+
+Pseudo-instructions: ``li``, ``la`` (alias of li with a label), ``mv``,
+``nop``, ``j``, ``jal label`` (rd=ra), ``ret``, ``not``, ``neg``,
+``ble``/``bgt`` (operand swap).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .insts import (
+    BRANCH_OPS,
+    HALT_OP,
+    I_OPS,
+    IMM_MAX,
+    IMM_MIN,
+    Inst,
+    JAL_OP,
+    JALR_OP,
+    LOAD_OP,
+    LUI_OP,
+    R_OPS,
+    SLEEP_OP,
+    STORE_OP,
+    WORD,
+    encode,
+    reg_number,
+)
+
+
+class AsmError(Exception):
+    def __init__(self, message: str, line_no: int = 0) -> None:
+        super().__init__(f"line {line_no}: {message}" if line_no else message)
+        self.line_no = line_no
+
+
+@dataclass
+class Program:
+    """Assembled output: words placed at addresses, plus symbols."""
+
+    words: dict[int, int] = field(default_factory=dict)   # addr -> word
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def to_segments(self) -> list[tuple[int, bytes]]:
+        """Coalesce into (base, bytes) segments for memory loading."""
+        if not self.words:
+            return []
+        segments: list[tuple[int, bytearray]] = []
+        for addr in sorted(self.words):
+            data = self.words[addr].to_bytes(WORD, "little")
+            if segments and segments[-1][0] + len(segments[-1][1]) == addr:
+                segments[-1][1].extend(data)
+            else:
+                segments.append((addr, bytearray(data)))
+        return [(base, bytes(body)) for base, body in segments]
+
+
+_MEM_RE = re.compile(r"^(-?\w+)\s*\(\s*(\w+)\s*\)$")
+
+
+def _parse_int(text: str, line_no: int) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmError(f"bad integer {text!r}", line_no) from None
+
+
+class Assembler:
+    """Two passes: collect symbols, then emit words."""
+
+    def __init__(self) -> None:
+        self.program = Program()
+
+    # -- public ---------------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        lines = self._clean(source)
+        self._pass_symbols(lines)
+        self._pass_emit(lines)
+        self.program.entry = self.program.symbols.get("main", 0)
+        return self.program
+
+    # -- shared ------------------------------------------------------------
+
+    @staticmethod
+    def _clean(source: str) -> list[tuple[int, str]]:
+        out = []
+        for i, raw in enumerate(source.splitlines(), start=1):
+            line = re.split(r"[#;]", raw, maxsplit=1)[0].strip()
+            if line:
+                out.append((i, line))
+        return out
+
+    def _expand(self, mnemonic: str, ops: list[str], line_no: int,
+                symbols: dict[str, int] | None) -> list[Inst]:
+        """Lower one (possibly pseudo) instruction to real instructions.
+
+        With ``symbols=None`` (pass 1) label references resolve to 0 —
+        only the *count* of emitted instructions matters, so pseudo
+        expansion must be size-stable: ``li``/``la`` always expand to
+        two instructions.
+        """
+
+        def resolve(text: str) -> int:
+            try:
+                return int(text, 0)
+            except ValueError:
+                pass
+            if symbols is None:
+                return 0
+            if text in symbols:
+                return symbols[text]
+            raise AsmError(f"undefined symbol {text!r}", line_no)
+
+        def reg(text: str) -> int:
+            try:
+                return reg_number(text)
+            except ValueError as exc:
+                raise AsmError(str(exc), line_no) from None
+
+        m = mnemonic
+        if m in R_OPS:
+            self._need(ops, 3, m, line_no)
+            return [Inst(R_OPS[m], rd=reg(ops[0]), rs1=reg(ops[1]),
+                         rs2=reg(ops[2]))]
+        if m in I_OPS:
+            self._need(ops, 3, m, line_no)
+            imm = resolve(ops[2])
+            self._imm_range(imm, line_no)
+            return [Inst(I_OPS[m], rd=reg(ops[0]), rs1=reg(ops[1]), imm=imm)]
+        if m == "lw" or m == "sw":
+            self._need(ops, 2, m, line_no)
+            match = _MEM_RE.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AsmError(f"expected imm(reg), got {ops[1]!r}", line_no)
+            imm = _parse_int(match.group(1), line_no)
+            base = reg(match.group(2))
+            self._imm_range(imm, line_no)
+            if m == "lw":
+                return [Inst(LOAD_OP, rd=reg(ops[0]), rs1=base, imm=imm)]
+            return [Inst(STORE_OP, rs1=base, rs2=reg(ops[0]), imm=imm)]
+        if m in BRANCH_OPS or m in ("ble", "bgt"):
+            self._need(ops, 3, m, line_no)
+            target = resolve(ops[2])
+            a, b = reg(ops[0]), reg(ops[1])
+            if m == "ble":      # a <= b  ==  b >= a
+                m, a, b = "bge", b, a
+            elif m == "bgt":    # a > b   ==  b < a
+                m, a, b = "blt", b, a
+            return [Inst(BRANCH_OPS[m], rs1=a, rs2=b, imm=target // WORD)]
+        if m == "jal":
+            if len(ops) == 1:
+                return [Inst(JAL_OP, rd=reg_number("ra"),
+                             imm=resolve(ops[0]) // WORD)]
+            self._need(ops, 2, m, line_no)
+            return [Inst(JAL_OP, rd=reg(ops[0]), imm=resolve(ops[1]) // WORD)]
+        if m == "jalr":
+            self._need(ops, 2, m, line_no)
+            return [Inst(JALR_OP, rd=reg(ops[0]), rs1=reg(ops[1]))]
+        if m == "lui":
+            self._need(ops, 2, m, line_no)
+            return [Inst(LUI_OP, rd=reg(ops[0]), imm=resolve(ops[1]))]
+        if m == "halt":
+            return [Inst(HALT_OP)]
+        if m == "sleep":
+            self._need(ops, 1, m, line_no)
+            return [Inst(SLEEP_OP, rs1=reg(ops[0]))]
+        # -- pseudos ----------------------------------------------------
+        if m in ("li", "la"):
+            # size-stable 2-instruction expansion: LUI places imm<<12,
+            # ORI fills the low 12 bits (always non-negative, in range)
+            self._need(ops, 2, m, line_no)
+            rd = reg(ops[0])
+            value = resolve(ops[1]) & 0xFFFF_FFFF
+            return [
+                Inst(LUI_OP, rd=rd, imm=(value >> 12) & 0xFFFFF),
+                Inst(I_OPS["ori"], rd=rd, rs1=rd, imm=value & 0xFFF),
+            ]
+        if m == "mv":
+            self._need(ops, 2, m, line_no)
+            return [Inst(I_OPS["addi"], rd=reg(ops[0]), rs1=reg(ops[1]))]
+        if m == "nop":
+            return [Inst(I_OPS["addi"])]
+        if m == "j":
+            self._need(ops, 1, m, line_no)
+            return [Inst(JAL_OP, rd=0, imm=resolve(ops[0]) // WORD)]
+        if m == "ret":
+            return [Inst(JALR_OP, rd=0, rs1=reg_number("ra"))]
+        if m == "not":
+            self._need(ops, 2, m, line_no)
+            return [Inst(I_OPS["xori"], rd=reg(ops[0]), rs1=reg(ops[1]),
+                         imm=-1)]
+        if m == "neg":
+            self._need(ops, 2, m, line_no)
+            return [Inst(R_OPS["sub"], rd=reg(ops[0]), rs1=0,
+                         rs2=reg(ops[1]))]
+        raise AsmError(f"unknown mnemonic {m!r}", line_no)
+
+    @staticmethod
+    def _need(ops: list[str], n: int, m: str, line_no: int) -> None:
+        if len(ops) != n:
+            raise AsmError(f"{m} expects {n} operands, got {len(ops)}",
+                           line_no)
+
+    @staticmethod
+    def _imm_range(imm: int, line_no: int) -> None:
+        if not IMM_MIN <= imm <= IMM_MAX:
+            raise AsmError(f"immediate {imm} out of range "
+                           f"[{IMM_MIN}, {IMM_MAX}]", line_no)
+
+    # -- pass 1: symbol table ----------------------------------------------
+
+    def _pass_symbols(self, lines: list[tuple[int, str]]) -> None:
+        pc = 0
+        for line_no, line in lines:
+            line = self._take_labels(line, line_no, pc, record=True)
+            if not line:
+                continue
+            if line.startswith("."):
+                pc = self._directive_size(line, line_no, pc)
+                continue
+            mnemonic, ops = self._split_inst(line)
+            pc += WORD * len(self._expand(mnemonic, ops, line_no, None))
+
+    # -- pass 2: emission ------------------------------------------------------
+
+    def _pass_emit(self, lines: list[tuple[int, str]]) -> None:
+        pc = 0
+        symbols = self.program.symbols
+        for line_no, line in lines:
+            line = self._take_labels(line, line_no, pc, record=False)
+            if not line:
+                continue
+            if line.startswith("."):
+                pc = self._directive_emit(line, line_no, pc)
+                continue
+            mnemonic, ops = self._split_inst(line)
+            for inst in self._expand(mnemonic, ops, line_no, symbols):
+                self.program.words[pc] = encode(inst)
+                pc += WORD
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _take_labels(self, line: str, line_no: int, pc: int,
+                     record: bool) -> str:
+        while True:
+            match = re.match(r"^(\w+)\s*:\s*(.*)$", line)
+            if not match:
+                return line
+            label, line = match.group(1), match.group(2)
+            if record:
+                if label in self.program.symbols:
+                    raise AsmError(f"duplicate label {label!r}", line_no)
+                self.program.symbols[label] = pc
+
+    @staticmethod
+    def _split_inst(line: str) -> tuple[str, list[str]]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        ops = []
+        if len(parts) > 1:
+            ops = [o.strip() for o in parts[1].split(",")]
+        return mnemonic, ops
+
+    def _directive_size(self, line: str, line_no: int, pc: int) -> int:
+        name, *rest = line.split(None, 1)
+        arg = rest[0] if rest else ""
+        if name == ".org":
+            return _parse_int(arg, line_no)
+        if name == ".word":
+            return pc + WORD * len(arg.split(","))
+        if name == ".space":
+            size = _parse_int(arg, line_no)
+            return pc + ((size + WORD - 1) // WORD) * WORD
+        raise AsmError(f"unknown directive {name!r}", line_no)
+
+    def _directive_emit(self, line: str, line_no: int, pc: int) -> int:
+        name, *rest = line.split(None, 1)
+        arg = rest[0] if rest else ""
+        if name == ".org":
+            return _parse_int(arg, line_no)
+        if name == ".word":
+            for item in arg.split(","):
+                item = item.strip()
+                value = (self.program.symbols[item]
+                         if item in self.program.symbols
+                         else _parse_int(item, line_no))
+                self.program.words[pc] = value & 0xFFFF_FFFF
+                pc += WORD
+            return pc
+        if name == ".space":
+            size = _parse_int(arg, line_no)
+            for _ in range((size + WORD - 1) // WORD):
+                self.program.words[pc] = 0
+                pc += WORD
+            return pc
+        raise AsmError(f"unknown directive {name!r}", line_no)
+
+
+def assemble(source: str) -> Program:
+    return Assembler().assemble(source)

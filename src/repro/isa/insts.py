@@ -1,0 +1,146 @@
+"""Instruction set definition: a small RV32I-flavoured ISA.
+
+The paper's SoC boots Linux and runs real binaries; our substrate
+replaces that with deterministic µop streams (DESIGN.md).  This package
+narrows the gap: workloads can be written as *actual assembly programs*,
+assembled to 32-bit words in simulated memory, executed functionally by
+:mod:`repro.isa.interp`, and lowered to the timing core's µops.
+
+Subset: integer register-register/immediate ALU ops, loads/stores
+(word), branches, jumps, LUI, and two system instructions — ``halt``
+and ``sleep`` (the timed-sleep the PMU benchmark needs).
+
+Encoding is a simplified fixed layout (not bit-exact RISC-V, which
+would buy nothing here): R = ``op[7]|rd[5]|rs1[5]|rs2[5]``,
+I = ``op[7]|rd[5]|rs1[5]|imm[15]``, S/B = ``op[7]|rs1[5]|rs2[5]|
+imm[15]``, LUI = ``op[7]|rd[5]|imm[20]`` (value placed at ``imm << 12``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD = 4
+XLEN_MASK = 0xFFFF_FFFF
+
+# -- opcodes ---------------------------------------------------------------
+
+R_OPS = {
+    "add": 0x01, "sub": 0x02, "and": 0x03, "or": 0x04, "xor": 0x05,
+    "sll": 0x06, "srl": 0x07, "sra": 0x08, "slt": 0x09, "sltu": 0x0A,
+    "mul": 0x0B,
+}
+I_OPS = {
+    "addi": 0x11, "andi": 0x12, "ori": 0x13, "xori": 0x14,
+    "slli": 0x15, "srli": 0x16, "slti": 0x17,
+}
+LOAD_OP = 0x20     # lw rd, imm(rs1)
+STORE_OP = 0x21    # sw rs2, imm(rs1)
+BRANCH_OPS = {
+    "beq": 0x30, "bne": 0x31, "blt": 0x32, "bge": 0x33,
+    "bltu": 0x34, "bgeu": 0x35,
+}
+JAL_OP = 0x38      # jal rd, target
+JALR_OP = 0x39     # jalr rd, rs1, imm
+LUI_OP = 0x3A      # lui rd, imm (upper 16 bits)
+HALT_OP = 0x7F
+SLEEP_OP = 0x7E    # sleep rs1 (cycles from register)
+
+OPCODE_NAMES: dict[int, str] = {}
+for table in (R_OPS, I_OPS, BRANCH_OPS):
+    OPCODE_NAMES.update({v: k for k, v in table.items()})
+OPCODE_NAMES.update({
+    LOAD_OP: "lw", STORE_OP: "sw", JAL_OP: "jal", JALR_OP: "jalr",
+    LUI_OP: "lui", HALT_OP: "halt", SLEEP_OP: "sleep",
+})
+
+# -- register names ----------------------------------------------------------
+
+REG_ALIASES = {"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4, "fp": 8}
+REG_ALIASES.update({f"t{i}": 5 + i for i in range(3)})      # t0-t2: x5-x7
+REG_ALIASES.update({f"s{i}": 8 + i for i in range(4)})      # s0-s3: x8-x11
+REG_ALIASES.update({f"a{i}": 12 + i for i in range(8)})     # a0-a7: x12-x19
+REG_ALIASES.update({f"t{i}": 17 + i for i in range(3, 7)})  # t3-t6: x20-x23
+
+
+def reg_number(name: str) -> int:
+    name = name.lower().strip()
+    if name.startswith("x") and name[1:].isdigit():
+        n = int(name[1:])
+        if 0 <= n < 32:
+            return n
+    if name in REG_ALIASES:
+        return REG_ALIASES[name]
+    raise ValueError(f"unknown register {name!r}")
+
+
+# -- instruction object --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Inst:
+    """One decoded instruction."""
+
+    opcode: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def name(self) -> str:
+        return OPCODE_NAMES.get(self.opcode, f"op{self.opcode:#x}")
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{self.name} rd=x{self.rd} rs1=x{self.rs1} "
+                f"rs2=x{self.rs2} imm={self.imm}")
+
+
+def _signed(value: int, bits: int) -> int:
+    value &= (1 << bits) - 1
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+#: immediate field width for I/S/B layouts (bits 17..31)
+IMM_BITS = 15
+IMM_MIN = -(1 << (IMM_BITS - 1))
+IMM_MAX = (1 << (IMM_BITS - 1)) - 1
+
+
+def encode(inst: Inst) -> int:
+    """Pack an instruction into a 32-bit word.
+
+    Layouts: R = op|rd|rs1|rs2; I = op|rd|rs1|imm15; S/B = op|rs1|rs2|
+    imm15; LUI = op|rd|imm20 (upper-half load).
+    """
+    op = inst.opcode & 0x7F
+    if op in R_OPS.values():
+        return op | (inst.rd << 7) | (inst.rs1 << 12) | (inst.rs2 << 17)
+    if op == LUI_OP:
+        return op | (inst.rd << 7) | ((inst.imm & 0xFFFFF) << 12)
+    if op == STORE_OP or op in BRANCH_OPS.values():
+        return (op | (inst.rs1 << 7) | (inst.rs2 << 12)
+                | ((inst.imm & 0x7FFF) << 17))
+    return (op | (inst.rd << 7) | (inst.rs1 << 12)
+            | ((inst.imm & 0x7FFF) << 17))
+
+
+def decode(word: int) -> Inst:
+    """Unpack a 32-bit word into an instruction."""
+    op = word & 0x7F
+    if op in R_OPS.values():
+        return Inst(op, rd=(word >> 7) & 0x1F, rs1=(word >> 12) & 0x1F,
+                    rs2=(word >> 17) & 0x1F)
+    if op == LUI_OP:
+        return Inst(op, rd=(word >> 7) & 0x1F, imm=(word >> 12) & 0xFFFFF)
+    if op == STORE_OP or op in BRANCH_OPS.values():
+        return Inst(op, rs1=(word >> 7) & 0x1F, rs2=(word >> 12) & 0x1F,
+                    imm=_signed(word >> 17, IMM_BITS))
+    if op in (LOAD_OP, JAL_OP, JALR_OP, HALT_OP, SLEEP_OP) or (
+        op in I_OPS.values()
+    ):
+        return Inst(op, rd=(word >> 7) & 0x1F, rs1=(word >> 12) & 0x1F,
+                    imm=_signed(word >> 17, IMM_BITS))
+    raise ValueError(f"cannot decode word {word:#010x}: unknown opcode {op:#x}")

@@ -1,0 +1,222 @@
+"""Functional interpreter + µop lowering for the repro ISA.
+
+:class:`ISAThread` executes an assembled program against a
+:class:`~repro.soc.mem.physmem.PhysicalMemory` image and *yields the
+timing µops* of each retired instruction — so one pass produces both
+the architectural effects (memory contents, register results) and the
+stream the OoO timing core consumes.  Branch mispredict flags come from
+the same 2-bit predictor model the workload generators use, keyed by
+branch PC.
+
+Use :func:`run_program` to attach an assembled program to a core::
+
+    program = assemble(SOURCE)
+    thread = ISAThread(program, soc.physmem)
+    soc.cores[0].run_stream(thread.uops())
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..soc.cpu.uop import Uop, alu, branch, fetch, load, sleep, store
+from ..soc.mem.physmem import PhysicalMemory
+from ..workloads.sorting import BranchPredictor
+from . import insts as I
+from .assembler import Program
+
+XLEN = 32
+MASK = I.XLEN_MASK
+
+
+def _signed32(value: int) -> int:
+    value &= MASK
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+class ISAError(Exception):
+    pass
+
+
+class ISAThread:
+    """One hardware thread executing a program."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: PhysicalMemory,
+        entry: Optional[int] = None,
+        sp: int = 0x00F0_0000,
+        max_instructions: int = 50_000_000,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.regs = [0] * 32
+        self.regs[I.reg_number("sp")] = sp
+        self.pc = program.entry if entry is None else entry
+        self.max_instructions = max_instructions
+        self.retired = 0
+        self.halted = False
+        self._bp = BranchPredictor()
+        self._fetched_lines: set[int] = set()
+        self._load_image()
+
+    def _load_image(self) -> None:
+        for base, data in self.program.to_segments():
+            self.memory.write(base, data)
+
+    # -- register helpers ---------------------------------------------------
+
+    def _set(self, rd: int, value: int) -> None:
+        if rd != 0:
+            self.regs[rd] = value & MASK
+
+    # -- execution ------------------------------------------------------------
+
+    def step(self) -> list[Uop]:
+        """Execute one instruction; return its timing µops.
+
+        The first touch of each 64-byte instruction line emits a FETCH
+        µop so cold instruction misses go through the L1I; afterwards
+        the line is treated as resident (i-buffer approximation).
+        """
+        if self.halted:
+            return []
+        prefix: list[Uop] = []
+        line = self.pc & ~63
+        if line not in self._fetched_lines:
+            self._fetched_lines.add(line)
+            prefix.append(fetch(line))
+        word = self.memory.read_word(self.pc, I.WORD)
+        inst = I.decode(word)
+        self.retired += 1
+        if self.retired > self.max_instructions:
+            raise ISAError(
+                f"instruction limit exceeded at pc={self.pc:#x} "
+                "(runaway program?)"
+            )
+        op = inst.opcode
+        regs = self.regs
+        next_pc = self.pc + I.WORD
+
+        if op in I.R_OPS.values():
+            a, b = regs[inst.rs1], regs[inst.rs2]
+            name = inst.name
+            if name == "add":
+                result = a + b
+            elif name == "sub":
+                result = a - b
+            elif name == "and":
+                result = a & b
+            elif name == "or":
+                result = a | b
+            elif name == "xor":
+                result = a ^ b
+            elif name == "sll":
+                result = a << (b & 31)
+            elif name == "srl":
+                result = a >> (b & 31)
+            elif name == "sra":
+                result = _signed32(a) >> (b & 31)
+            elif name == "slt":
+                result = 1 if _signed32(a) < _signed32(b) else 0
+            elif name == "sltu":
+                result = 1 if a < b else 0
+            elif name == "mul":
+                result = a * b
+            else:  # pragma: no cover - table is closed
+                raise ISAError(f"unhandled R op {name}")
+            self._set(inst.rd, result)
+            uops = [alu(2 if name == "mul" else 1)]
+        elif op in I.I_OPS.values():
+            a, imm = regs[inst.rs1], inst.imm
+            name = inst.name
+            if name == "addi":
+                result = a + imm
+            elif name == "andi":
+                result = a & (imm & MASK)
+            elif name == "ori":
+                result = a | (imm & MASK)
+            elif name == "xori":
+                result = a ^ (imm & MASK)
+            elif name == "slli":
+                result = a << (imm & 31)
+            elif name == "srli":
+                result = a >> (imm & 31)
+            elif name == "slti":
+                result = 1 if _signed32(a) < imm else 0
+            else:  # pragma: no cover
+                raise ISAError(f"unhandled I op {name}")
+            self._set(inst.rd, result)
+            uops = [alu(1)]
+        elif op == I.LUI_OP:
+            self._set(inst.rd, inst.imm << 12)
+            uops = [alu(1)]
+        elif op == I.LOAD_OP:
+            addr = (regs[inst.rs1] + inst.imm) & MASK
+            self._set(inst.rd, self.memory.read_word(addr, I.WORD))
+            uops = [load(addr)]
+        elif op == I.STORE_OP:
+            addr = (regs[inst.rs1] + inst.imm) & MASK
+            self.memory.write_word(addr, regs[inst.rs2], I.WORD)
+            uops = [store(addr)]
+        elif op in I.BRANCH_OPS.values():
+            a, b = regs[inst.rs1], regs[inst.rs2]
+            name = inst.name
+            taken = {
+                "beq": a == b,
+                "bne": a != b,
+                "blt": _signed32(a) < _signed32(b),
+                "bge": _signed32(a) >= _signed32(b),
+                "bltu": a < b,
+                "bgeu": a >= b,
+            }[name]
+            if taken:
+                next_pc = (inst.imm * I.WORD) & MASK
+            miss = self._bp.mispredicted(f"pc{self.pc:x}", taken)
+            uops = [branch(miss)]
+        elif op == I.JAL_OP:
+            self._set(inst.rd, next_pc)
+            next_pc = (inst.imm * I.WORD) & MASK
+            uops = [alu(1)]
+        elif op == I.JALR_OP:
+            target = regs[inst.rs1] & ~3 & MASK
+            self._set(inst.rd, next_pc)
+            next_pc = target
+            # indirect jumps cost a (predicted-taken) branch slot
+            uops = [branch(False)]
+        elif op == I.SLEEP_OP:
+            cycles = regs[inst.rs1]
+            uops = [sleep(cycles)] if cycles else [alu(1)]
+        elif op == I.HALT_OP:
+            self.halted = True
+            uops = []
+        else:  # pragma: no cover - decode() already rejects
+            raise ISAError(f"unhandled opcode {op:#x}")
+
+        self.pc = next_pc & MASK
+        return prefix + uops if prefix else uops
+
+    def run(self) -> None:
+        """Execute functionally to completion (no timing stream)."""
+        while not self.halted:
+            self.step()
+
+    def uops(self) -> Iterator[Uop]:
+        """Generator form: execute and stream µops to a timing core."""
+        while not self.halted:
+            yield from self.step()
+
+
+def run_program(
+    source_or_program, memory: PhysicalMemory, **kwargs
+) -> ISAThread:
+    """Assemble (if needed), load, and return a ready thread."""
+    from .assembler import assemble
+
+    program = (
+        source_or_program
+        if isinstance(source_or_program, Program)
+        else assemble(source_or_program)
+    )
+    return ISAThread(program, memory, **kwargs)

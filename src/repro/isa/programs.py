@@ -1,0 +1,117 @@
+"""Assembly programs for the repro ISA.
+
+Real programs (not instrumented generators): the bubble sort used by
+the PMU example, plus memcpy and a vector sum.  Data regions are
+parameterised by simple string substitution before assembly.
+"""
+
+from __future__ import annotations
+
+BUBBLE_SORT = """
+# bubble sort of {n} words at {base} (ascending, early-exit)
+.org 0x0
+main:
+    li   a0, {base}          # array base
+    li   a1, {n}             # element count
+outer:
+    addi t2, zero, 0         # swapped = 0
+    addi t0, zero, 0         # i = 0
+    addi t3, a1, -1          # limit = n-1
+inner:
+    bge  t0, t3, check
+    slli t4, t0, 2
+    add  t4, a0, t4          # &a[i]
+    lw   t5, 0(t4)
+    lw   t6, 4(t4)
+    ble  t5, t6, no_swap
+    sw   t6, 0(t4)
+    sw   t5, 4(t4)
+    addi t2, zero, 1         # swapped = 1
+no_swap:
+    addi t0, t0, 1
+    j    inner
+check:
+    bne  t2, zero, outer
+    halt
+"""
+
+MEMCPY = """
+# copy {n} bytes (word-aligned) from {src} to {dst}
+.org 0x0
+main:
+    li   a0, {src}
+    li   a1, {dst}
+    li   a2, {n}
+    addi t0, zero, 0         # offset
+loop:
+    bge  t0, a2, done
+    add  t1, a0, t0
+    lw   t2, 0(t1)
+    add  t1, a1, t0
+    sw   t2, 0(t1)
+    addi t0, t0, 4
+    j    loop
+done:
+    halt
+"""
+
+VECTOR_SUM = """
+# sum {n} words at {base}; result stored at {out}
+.org 0x0
+main:
+    li   a0, {base}
+    li   a1, {n}
+    addi t0, zero, 0         # i
+    addi t1, zero, 0         # acc
+loop:
+    bge  t0, a1, done
+    slli t2, t0, 2
+    add  t2, a0, t2
+    lw   t3, 0(t2)
+    add  t1, t1, t3
+    addi t0, t0, 1
+    j    loop
+done:
+    li   a2, {out}
+    sw   t1, 0(a2)
+    halt
+"""
+
+SLEEP_DEMO = """
+# three compute phases separated by sleeps ({cycles} cycles each)
+.org 0x0
+main:
+    li   t1, {cycles}
+    addi t0, zero, 0
+    li   t2, 500
+p1: addi t0, t0, 1
+    blt  t0, t2, p1
+    sleep t1
+    addi t0, zero, 0
+p2: addi t0, t0, 1
+    blt  t0, t2, p2
+    sleep t1
+    addi t0, zero, 0
+p3: addi t0, t0, 1
+    blt  t0, t2, p3
+    halt
+"""
+
+
+def bubble_sort(base: int = 0x10_0000, n: int = 64) -> str:
+    return BUBBLE_SORT.format(base=hex(base), n=n)
+
+
+def memcpy(src: int = 0x10_0000, dst: int = 0x20_0000, n: int = 256) -> str:
+    if n % 4:
+        raise ValueError("memcpy length must be word-aligned")
+    return MEMCPY.format(src=hex(src), dst=hex(dst), n=n)
+
+
+def vector_sum(base: int = 0x10_0000, n: int = 64,
+               out: int = 0x30_0000) -> str:
+    return VECTOR_SUM.format(base=hex(base), n=n, out=hex(out))
+
+
+def sleep_demo(cycles: int = 5000) -> str:
+    return SLEEP_DEMO.format(cycles=cycles)

@@ -1,0 +1,381 @@
+-- ---------------------------------------------------------------------------
+-- Bitonic sorting accelerator (8-element, W-bit, fully pipelined)
+--
+-- The paper notes: "GHDL has been tested with a bitonic sorting accelerator
+-- written in VHDL. We have used this example to develop the support for this
+-- tool in gem5."  This is that design: a classic 6-stage bitonic sorting
+-- network with a register stage after every compare-exchange rank, accepting
+-- one 8-element vector per cycle and emitting it sorted (ascending) six
+-- cycles later.
+--
+-- Compiled *unmodified* by repro.hdl.vhdl — the repo's GHDL-equivalent flow.
+-- ---------------------------------------------------------------------------
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity ce is
+  generic (
+    W : integer := 16;
+    DESCEND : integer := 0
+  );
+  port (
+    a  : in  std_logic_vector(W-1 downto 0);
+    b  : in  std_logic_vector(W-1 downto 0);
+    lo : out std_logic_vector(W-1 downto 0);
+    hi : out std_logic_vector(W-1 downto 0)
+  );
+end entity;
+
+architecture rtl of ce is
+  signal a_first : std_logic;
+begin
+  -- a_first: '1' when a should appear on the lo output
+  a_first <= '1' when (unsigned(a) < unsigned(b) and DESCEND = 0)
+                   or (unsigned(a) >= unsigned(b) and DESCEND = 1)
+             else '0';
+  lo <= a when a_first = '1' else b;
+  hi <= b when a_first = '1' else a;
+end architecture;
+
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity bitonic8 is
+  generic (W : integer := 16);
+  port (
+    clk      : in  std_logic;
+    rst      : in  std_logic;
+    valid_in : in  std_logic;
+    d0       : in  std_logic_vector(W-1 downto 0);
+    d1       : in  std_logic_vector(W-1 downto 0);
+    d2       : in  std_logic_vector(W-1 downto 0);
+    d3       : in  std_logic_vector(W-1 downto 0);
+    d4       : in  std_logic_vector(W-1 downto 0);
+    d5       : in  std_logic_vector(W-1 downto 0);
+    d6       : in  std_logic_vector(W-1 downto 0);
+    d7       : in  std_logic_vector(W-1 downto 0);
+    valid_out : out std_logic;
+    q0       : out std_logic_vector(W-1 downto 0);
+    q1       : out std_logic_vector(W-1 downto 0);
+    q2       : out std_logic_vector(W-1 downto 0);
+    q3       : out std_logic_vector(W-1 downto 0);
+    q4       : out std_logic_vector(W-1 downto 0);
+    q5       : out std_logic_vector(W-1 downto 0);
+    q6       : out std_logic_vector(W-1 downto 0);
+    q7       : out std_logic_vector(W-1 downto 0));
+end entity;
+
+architecture rtl of bitonic8 is
+  signal c1_0 : std_logic_vector(W-1 downto 0);
+  signal c1_1 : std_logic_vector(W-1 downto 0);
+  signal c1_2 : std_logic_vector(W-1 downto 0);
+  signal c1_3 : std_logic_vector(W-1 downto 0);
+  signal c1_4 : std_logic_vector(W-1 downto 0);
+  signal c1_5 : std_logic_vector(W-1 downto 0);
+  signal c1_6 : std_logic_vector(W-1 downto 0);
+  signal c1_7 : std_logic_vector(W-1 downto 0);
+  signal r1_0 : std_logic_vector(W-1 downto 0);
+  signal r1_1 : std_logic_vector(W-1 downto 0);
+  signal r1_2 : std_logic_vector(W-1 downto 0);
+  signal r1_3 : std_logic_vector(W-1 downto 0);
+  signal r1_4 : std_logic_vector(W-1 downto 0);
+  signal r1_5 : std_logic_vector(W-1 downto 0);
+  signal r1_6 : std_logic_vector(W-1 downto 0);
+  signal r1_7 : std_logic_vector(W-1 downto 0);
+  signal c2_0 : std_logic_vector(W-1 downto 0);
+  signal c2_1 : std_logic_vector(W-1 downto 0);
+  signal c2_2 : std_logic_vector(W-1 downto 0);
+  signal c2_3 : std_logic_vector(W-1 downto 0);
+  signal c2_4 : std_logic_vector(W-1 downto 0);
+  signal c2_5 : std_logic_vector(W-1 downto 0);
+  signal c2_6 : std_logic_vector(W-1 downto 0);
+  signal c2_7 : std_logic_vector(W-1 downto 0);
+  signal r2_0 : std_logic_vector(W-1 downto 0);
+  signal r2_1 : std_logic_vector(W-1 downto 0);
+  signal r2_2 : std_logic_vector(W-1 downto 0);
+  signal r2_3 : std_logic_vector(W-1 downto 0);
+  signal r2_4 : std_logic_vector(W-1 downto 0);
+  signal r2_5 : std_logic_vector(W-1 downto 0);
+  signal r2_6 : std_logic_vector(W-1 downto 0);
+  signal r2_7 : std_logic_vector(W-1 downto 0);
+  signal c3_0 : std_logic_vector(W-1 downto 0);
+  signal c3_1 : std_logic_vector(W-1 downto 0);
+  signal c3_2 : std_logic_vector(W-1 downto 0);
+  signal c3_3 : std_logic_vector(W-1 downto 0);
+  signal c3_4 : std_logic_vector(W-1 downto 0);
+  signal c3_5 : std_logic_vector(W-1 downto 0);
+  signal c3_6 : std_logic_vector(W-1 downto 0);
+  signal c3_7 : std_logic_vector(W-1 downto 0);
+  signal r3_0 : std_logic_vector(W-1 downto 0);
+  signal r3_1 : std_logic_vector(W-1 downto 0);
+  signal r3_2 : std_logic_vector(W-1 downto 0);
+  signal r3_3 : std_logic_vector(W-1 downto 0);
+  signal r3_4 : std_logic_vector(W-1 downto 0);
+  signal r3_5 : std_logic_vector(W-1 downto 0);
+  signal r3_6 : std_logic_vector(W-1 downto 0);
+  signal r3_7 : std_logic_vector(W-1 downto 0);
+  signal c4_0 : std_logic_vector(W-1 downto 0);
+  signal c4_1 : std_logic_vector(W-1 downto 0);
+  signal c4_2 : std_logic_vector(W-1 downto 0);
+  signal c4_3 : std_logic_vector(W-1 downto 0);
+  signal c4_4 : std_logic_vector(W-1 downto 0);
+  signal c4_5 : std_logic_vector(W-1 downto 0);
+  signal c4_6 : std_logic_vector(W-1 downto 0);
+  signal c4_7 : std_logic_vector(W-1 downto 0);
+  signal r4_0 : std_logic_vector(W-1 downto 0);
+  signal r4_1 : std_logic_vector(W-1 downto 0);
+  signal r4_2 : std_logic_vector(W-1 downto 0);
+  signal r4_3 : std_logic_vector(W-1 downto 0);
+  signal r4_4 : std_logic_vector(W-1 downto 0);
+  signal r4_5 : std_logic_vector(W-1 downto 0);
+  signal r4_6 : std_logic_vector(W-1 downto 0);
+  signal r4_7 : std_logic_vector(W-1 downto 0);
+  signal c5_0 : std_logic_vector(W-1 downto 0);
+  signal c5_1 : std_logic_vector(W-1 downto 0);
+  signal c5_2 : std_logic_vector(W-1 downto 0);
+  signal c5_3 : std_logic_vector(W-1 downto 0);
+  signal c5_4 : std_logic_vector(W-1 downto 0);
+  signal c5_5 : std_logic_vector(W-1 downto 0);
+  signal c5_6 : std_logic_vector(W-1 downto 0);
+  signal c5_7 : std_logic_vector(W-1 downto 0);
+  signal r5_0 : std_logic_vector(W-1 downto 0);
+  signal r5_1 : std_logic_vector(W-1 downto 0);
+  signal r5_2 : std_logic_vector(W-1 downto 0);
+  signal r5_3 : std_logic_vector(W-1 downto 0);
+  signal r5_4 : std_logic_vector(W-1 downto 0);
+  signal r5_5 : std_logic_vector(W-1 downto 0);
+  signal r5_6 : std_logic_vector(W-1 downto 0);
+  signal r5_7 : std_logic_vector(W-1 downto 0);
+  signal c6_0 : std_logic_vector(W-1 downto 0);
+  signal c6_1 : std_logic_vector(W-1 downto 0);
+  signal c6_2 : std_logic_vector(W-1 downto 0);
+  signal c6_3 : std_logic_vector(W-1 downto 0);
+  signal c6_4 : std_logic_vector(W-1 downto 0);
+  signal c6_5 : std_logic_vector(W-1 downto 0);
+  signal c6_6 : std_logic_vector(W-1 downto 0);
+  signal c6_7 : std_logic_vector(W-1 downto 0);
+  signal r6_0 : std_logic_vector(W-1 downto 0);
+  signal r6_1 : std_logic_vector(W-1 downto 0);
+  signal r6_2 : std_logic_vector(W-1 downto 0);
+  signal r6_3 : std_logic_vector(W-1 downto 0);
+  signal r6_4 : std_logic_vector(W-1 downto 0);
+  signal r6_5 : std_logic_vector(W-1 downto 0);
+  signal r6_6 : std_logic_vector(W-1 downto 0);
+  signal r6_7 : std_logic_vector(W-1 downto 0);
+  signal vpipe5 : std_logic;
+  signal v0 : std_logic;
+  signal v1 : std_logic;
+  signal v2 : std_logic;
+  signal v3 : std_logic;
+  signal v4 : std_logic;
+begin
+
+  u_ce1_0_1 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => d0, b => d1, lo => c1_0, hi => c1_1);
+  u_ce1_2_3 : entity work.ce
+    generic map (W => W, DESCEND => 1)
+    port map (a => d2, b => d3, lo => c1_2, hi => c1_3);
+  u_ce1_4_5 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => d4, b => d5, lo => c1_4, hi => c1_5);
+  u_ce1_6_7 : entity work.ce
+    generic map (W => W, DESCEND => 1)
+    port map (a => d6, b => d7, lo => c1_6, hi => c1_7);
+
+  u_ce2_0_2 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r1_0, b => r1_2, lo => c2_0, hi => c2_2);
+  u_ce2_1_3 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r1_1, b => r1_3, lo => c2_1, hi => c2_3);
+  u_ce2_4_6 : entity work.ce
+    generic map (W => W, DESCEND => 1)
+    port map (a => r1_4, b => r1_6, lo => c2_4, hi => c2_6);
+  u_ce2_5_7 : entity work.ce
+    generic map (W => W, DESCEND => 1)
+    port map (a => r1_5, b => r1_7, lo => c2_5, hi => c2_7);
+
+  u_ce3_0_1 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r2_0, b => r2_1, lo => c3_0, hi => c3_1);
+  u_ce3_2_3 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r2_2, b => r2_3, lo => c3_2, hi => c3_3);
+  u_ce3_4_5 : entity work.ce
+    generic map (W => W, DESCEND => 1)
+    port map (a => r2_4, b => r2_5, lo => c3_4, hi => c3_5);
+  u_ce3_6_7 : entity work.ce
+    generic map (W => W, DESCEND => 1)
+    port map (a => r2_6, b => r2_7, lo => c3_6, hi => c3_7);
+
+  u_ce4_0_4 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r3_0, b => r3_4, lo => c4_0, hi => c4_4);
+  u_ce4_1_5 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r3_1, b => r3_5, lo => c4_1, hi => c4_5);
+  u_ce4_2_6 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r3_2, b => r3_6, lo => c4_2, hi => c4_6);
+  u_ce4_3_7 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r3_3, b => r3_7, lo => c4_3, hi => c4_7);
+
+  u_ce5_0_2 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r4_0, b => r4_2, lo => c5_0, hi => c5_2);
+  u_ce5_1_3 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r4_1, b => r4_3, lo => c5_1, hi => c5_3);
+  u_ce5_4_6 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r4_4, b => r4_6, lo => c5_4, hi => c5_6);
+  u_ce5_5_7 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r4_5, b => r4_7, lo => c5_5, hi => c5_7);
+
+  u_ce6_0_1 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r5_0, b => r5_1, lo => c6_0, hi => c6_1);
+  u_ce6_2_3 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r5_2, b => r5_3, lo => c6_2, hi => c6_3);
+  u_ce6_4_5 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r5_4, b => r5_5, lo => c6_4, hi => c6_5);
+  u_ce6_6_7 : entity work.ce
+    generic map (W => W, DESCEND => 0)
+    port map (a => r5_6, b => r5_7, lo => c6_6, hi => c6_7);
+
+  process(clk)
+  begin
+    if rising_edge(clk) then
+      if rst = '1' then
+        r1_0 <= (others => '0');
+        r1_1 <= (others => '0');
+        r1_2 <= (others => '0');
+        r1_3 <= (others => '0');
+        r1_4 <= (others => '0');
+        r1_5 <= (others => '0');
+        r1_6 <= (others => '0');
+        r1_7 <= (others => '0');
+        r2_0 <= (others => '0');
+        r2_1 <= (others => '0');
+        r2_2 <= (others => '0');
+        r2_3 <= (others => '0');
+        r2_4 <= (others => '0');
+        r2_5 <= (others => '0');
+        r2_6 <= (others => '0');
+        r2_7 <= (others => '0');
+        r3_0 <= (others => '0');
+        r3_1 <= (others => '0');
+        r3_2 <= (others => '0');
+        r3_3 <= (others => '0');
+        r3_4 <= (others => '0');
+        r3_5 <= (others => '0');
+        r3_6 <= (others => '0');
+        r3_7 <= (others => '0');
+        r4_0 <= (others => '0');
+        r4_1 <= (others => '0');
+        r4_2 <= (others => '0');
+        r4_3 <= (others => '0');
+        r4_4 <= (others => '0');
+        r4_5 <= (others => '0');
+        r4_6 <= (others => '0');
+        r4_7 <= (others => '0');
+        r5_0 <= (others => '0');
+        r5_1 <= (others => '0');
+        r5_2 <= (others => '0');
+        r5_3 <= (others => '0');
+        r5_4 <= (others => '0');
+        r5_5 <= (others => '0');
+        r5_6 <= (others => '0');
+        r5_7 <= (others => '0');
+        r6_0 <= (others => '0');
+        r6_1 <= (others => '0');
+        r6_2 <= (others => '0');
+        r6_3 <= (others => '0');
+        r6_4 <= (others => '0');
+        r6_5 <= (others => '0');
+        r6_6 <= (others => '0');
+        r6_7 <= (others => '0');
+        v0 <= '0';
+        v1 <= '0';
+        v2 <= '0';
+        v3 <= '0';
+        v4 <= '0';
+        vpipe5 <= '0';
+      else
+        r1_0 <= c1_0;
+        r1_1 <= c1_1;
+        r1_2 <= c1_2;
+        r1_3 <= c1_3;
+        r1_4 <= c1_4;
+        r1_5 <= c1_5;
+        r1_6 <= c1_6;
+        r1_7 <= c1_7;
+        r2_0 <= c2_0;
+        r2_1 <= c2_1;
+        r2_2 <= c2_2;
+        r2_3 <= c2_3;
+        r2_4 <= c2_4;
+        r2_5 <= c2_5;
+        r2_6 <= c2_6;
+        r2_7 <= c2_7;
+        r3_0 <= c3_0;
+        r3_1 <= c3_1;
+        r3_2 <= c3_2;
+        r3_3 <= c3_3;
+        r3_4 <= c3_4;
+        r3_5 <= c3_5;
+        r3_6 <= c3_6;
+        r3_7 <= c3_7;
+        r4_0 <= c4_0;
+        r4_1 <= c4_1;
+        r4_2 <= c4_2;
+        r4_3 <= c4_3;
+        r4_4 <= c4_4;
+        r4_5 <= c4_5;
+        r4_6 <= c4_6;
+        r4_7 <= c4_7;
+        r5_0 <= c5_0;
+        r5_1 <= c5_1;
+        r5_2 <= c5_2;
+        r5_3 <= c5_3;
+        r5_4 <= c5_4;
+        r5_5 <= c5_5;
+        r5_6 <= c5_6;
+        r5_7 <= c5_7;
+        r6_0 <= c6_0;
+        r6_1 <= c6_1;
+        r6_2 <= c6_2;
+        r6_3 <= c6_3;
+        r6_4 <= c6_4;
+        r6_5 <= c6_5;
+        r6_6 <= c6_6;
+        r6_7 <= c6_7;
+        v0 <= valid_in;
+        v1 <= v0;
+        v2 <= v1;
+        v3 <= v2;
+        v4 <= v3;
+        vpipe5 <= v4;
+      end if;
+    end if;
+  end process;
+
+  valid_out <= vpipe5;
+  q0 <= r6_0;
+  q1 <= r6_1;
+  q2 <= r6_2;
+  q3 <= r6_3;
+  q4 <= r6_4;
+  q5 <= r6_5;
+  q6 <= r6_6;
+  q7 <= r6_7;
+
+end architecture;

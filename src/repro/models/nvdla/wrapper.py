@@ -1,0 +1,99 @@
+"""Shared-library wrapper for the NVDLA model (paper Fig. 4).
+
+Mirrors the NVIDIA-provided wrapper classes the paper adapts: a *CSB
+wrapper* translating configuration-bus operations, and an *AXI responder
+wrapper* whose ideal-memory behaviour is replaced by forwarding requests
+to the RTLObject through the output struct (exactly the modification the
+paper describes in §4.2).
+"""
+
+from __future__ import annotations
+
+from ...bridge.shared_library import BehavioralSharedLibrary
+from ...bridge.structs import Field, StructSpec
+from .core import NVDLACore
+
+#: max read responses / acks the bridge delivers per accelerator cycle
+RESP_LANES = 4
+#: max requests the engine can emit per cycle (writes + reads)
+REQ_LANES = 4
+
+NVDLA_INPUT = StructSpec(
+    "nvdla_in",
+    [
+        Field("csb_valid", 1),
+        Field("csb_write", 1),
+        Field("csb_addr", 12),
+        Field("csb_wdata", 32),
+        Field("credit", 8),                 # in-flight budget this cycle
+        Field("rd_resp_count", 3),
+        Field("rd_resp_seqs", 32, count=RESP_LANES),
+        Field("wr_acks", 3),
+    ],
+)
+
+NVDLA_OUTPUT = StructSpec(
+    "nvdla_out",
+    [
+        Field("csb_rvalid", 1),
+        Field("csb_rdata", 32),
+        Field("rd_count", 3),
+        Field("rd_seqs", 32, count=REQ_LANES),
+        Field("rd_addrs", 48, count=REQ_LANES),
+        Field("rd_ports", 1, count=REQ_LANES),
+        Field("wr_count", 3),
+        Field("wr_addrs", 48, count=REQ_LANES),
+        Field("irq", 1),
+    ],
+)
+
+
+class NVDLASharedLibrary(BehavioralSharedLibrary):
+    """tick/reset wrapper around :class:`NVDLACore`."""
+
+    input_spec = NVDLA_INPUT
+    output_spec = NVDLA_OUTPUT
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.core = NVDLACore()
+
+    def reset(self) -> None:
+        super().reset()
+        self.core.reset()
+
+    def step(self, inputs: dict) -> dict:
+        core = self.core
+
+        # CSB wrapper: one operation per cycle, same-cycle read data.
+        csb_rvalid = 0
+        csb_rdata = 0
+        if inputs["csb_valid"]:
+            if inputs["csb_write"]:
+                core.csb_write(inputs["csb_addr"], inputs["csb_wdata"])
+            else:
+                csb_rdata = core.csb_read(inputs["csb_addr"])
+                csb_rvalid = 1
+
+        # AXI responder wrapper: deliver responses, collect requests.
+        resp_seqs = inputs["rd_resp_seqs"][: inputs["rd_resp_count"]]
+        result = core.step(inputs["credit"], resp_seqs, inputs["wr_acks"])
+
+        reads = result["reads"][:REQ_LANES]
+        writes = result["writes"][:REQ_LANES]
+        pad = [0] * REQ_LANES
+        rd_seqs = [r[0] for r in reads] + pad
+        rd_addrs = [r[1] for r in reads] + pad
+        rd_ports = [r[2] for r in reads] + pad
+        wr_addrs = list(writes) + pad
+        return {
+            "csb_rvalid": csb_rvalid,
+            "csb_rdata": csb_rdata,
+            "rd_count": len(reads),
+            "rd_seqs": rd_seqs[:REQ_LANES],
+            "rd_addrs": rd_addrs[:REQ_LANES],
+            "rd_ports": rd_ports[:REQ_LANES],
+            "wr_count": len(writes),
+            "wr_addrs": wr_addrs[:REQ_LANES],
+            "irq": result["irq"],
+        }

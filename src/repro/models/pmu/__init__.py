@@ -1,0 +1,27 @@
+"""PMU use case (paper §4.1): RTL model + wrapper + RTLObject + driver."""
+
+from .driver import PMUDriver
+from .rtl_object import PMURTLObject
+from .wrapper import (
+    N_COUNTERS,
+    PMU_INPUT,
+    PMU_OUTPUT,
+    PMUSharedLibrary,
+    REG_ENABLE,
+    counter_addr,
+    load_pmu_source,
+    threshold_addr,
+)
+
+__all__ = [
+    "N_COUNTERS",
+    "PMU_INPUT",
+    "PMU_OUTPUT",
+    "PMUDriver",
+    "PMURTLObject",
+    "PMUSharedLibrary",
+    "REG_ENABLE",
+    "counter_addr",
+    "load_pmu_source",
+    "threshold_addr",
+]

@@ -1,0 +1,70 @@
+"""Host-software driver for the PMU (the user-level view).
+
+Wraps an :class:`~repro.soc.iomaster.IOMaster` with the PMU register
+map: configuration, threshold programming, and counter sampling.  This
+is what the paper's benchmark does from software — configure events,
+take interrupts every N cycles, dump the counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...soc.iomaster import IOMaster
+from .wrapper import REG_ENABLE, counter_addr, threshold_addr
+
+
+class PMUDriver:
+    """Issues MMIO traffic against a PMU mapped at *base*."""
+
+    def __init__(self, iomaster: IOMaster, base: int = 0x1000_0000) -> None:
+        self.io = iomaster
+        self.base = base
+
+    # -- configuration ------------------------------------------------------
+
+    def enable(self, mask: int) -> None:
+        """Enable the counters selected by *mask* (bit i = counter i)."""
+        self.io.write_word(self.base + REG_ENABLE, mask)
+
+    def set_threshold(self, index: int, value: int) -> None:
+        """Interrupt (and reset counter) every *value* events; 0 disables."""
+        self.io.write_word(self.base + threshold_addr(index), value)
+
+    def clear_counter(self, index: int) -> None:
+        self.io.write_word(self.base + counter_addr(index), 0)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def read_counter(
+        self, index: int, callback: Callable[[int], None]
+    ) -> None:
+        """Read counter *index*; *callback* receives its value."""
+
+        def on_resp(pkt) -> None:
+            callback(int.from_bytes(pkt.data, "little"))
+
+        self.io.read(self.base + counter_addr(index), size=4, callback=on_resp)
+
+    def read_counters(
+        self, indices: list[int], callback: Callable[[dict[int, int]], None]
+    ) -> None:
+        """Read several counters; *callback* receives {index: value}."""
+        results: dict[int, int] = {}
+        remaining = len(indices)
+        if remaining == 0:
+            callback({})
+            return
+
+        def make_cb(i: int) -> Callable[[int], None]:
+            def cb(value: int) -> None:
+                nonlocal remaining
+                results[i] = value
+                remaining -= 1
+                if remaining == 0:
+                    callback(dict(results))
+
+            return cb
+
+        for i in indices:
+            self.read_counter(i, make_cb(i))

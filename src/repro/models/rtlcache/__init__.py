@@ -1,0 +1,21 @@
+"""RTL cache use case: the paper's Fig. 2(a) connectivity scenario."""
+
+from .wrapper import (
+    FILL_LANES,
+    LINE_BYTES,
+    RTLCACHE_INPUT,
+    RTLCACHE_OUTPUT,
+    RTLCacheObject,
+    RTLCacheSharedLibrary,
+    load_rtl_cache_source,
+)
+
+__all__ = [
+    "FILL_LANES",
+    "LINE_BYTES",
+    "RTLCACHE_INPUT",
+    "RTLCACHE_OUTPUT",
+    "RTLCacheObject",
+    "RTLCacheSharedLibrary",
+    "load_rtl_cache_source",
+]

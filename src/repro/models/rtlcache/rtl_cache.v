@@ -1,0 +1,141 @@
+// ---------------------------------------------------------------------------
+// RTL cache (direct-mapped, write-through, one outstanding miss)
+//
+// The paper's Figure 2(a) connectivity example: an RTLObject standing in as
+// an L1 data cache between a core and the rest of the hierarchy — the very
+// scenario the paper argues needs a tightly-coupled co-simulation interface
+// ("adding a new cache in RTL connected to the cores of gem5 would be very
+// difficult to simulate [with IPC-based coupling]").
+//
+// Interface (one request at a time, valid/ready-free for simplicity):
+//   req_*   : 8-byte CPU read/write requests
+//   resp_*  : read data + hit flag, one or more cycles later
+//   miss_*  : 64-byte line-fill request toward memory
+//   fill_*  : line-fill data returning from memory
+//   wt_*    : write-through traffic toward memory
+//
+// Data is stored in the RTL (512-bit lines), so read hits return data that
+// travelled through the hardware model, not through a simulator back door.
+//
+// Compiled unmodified by repro.hdl.verilog.
+// ---------------------------------------------------------------------------
+
+module rtl_cache #(
+    parameter IDXW = 6     // 2^IDXW lines of 64 bytes
+) (
+    input clk,
+    input rst,
+
+    // CPU-side request (held stable until resp_valid)
+    input req_valid,
+    input req_write,
+    input [31:0] req_addr,
+    input [63:0] req_wdata,
+    output reg resp_valid,
+    output reg [63:0] resp_rdata,
+    output reg resp_was_hit,
+
+    // memory-side: line fill
+    output reg miss_valid,
+    output reg [31:0] miss_addr,
+    input fill_valid,
+    input [511:0] fill_data,
+
+    // memory-side: write-through
+    output reg wt_valid,
+    output reg [31:0] wt_addr,
+    output reg [63:0] wt_data,
+
+    // observability
+    output [31:0] hit_count,
+    output [31:0] miss_count
+);
+
+    localparam LINES = 1 << IDXW;
+
+    reg [19:0] tags [0:LINES-1];
+    reg [LINES-1:0] valid;
+    reg [511:0] data [0:LINES-1];
+
+    reg busy;                 // miss outstanding
+    reg [31:0] hits;
+    reg [31:0] misses;
+    integer i;
+
+    wire [IDXW-1:0] index;
+    wire [19:0] tag;
+    wire [2:0] word;
+    wire hit;
+
+    assign index = req_addr[IDXW+5:6];
+    assign tag = req_addr[31:12];
+    assign word = req_addr[5:3];
+    assign hit = valid[index] && (tags[index] == tag);
+    assign hit_count = hits;
+    assign miss_count = misses;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            valid <= 0;
+            busy <= 0;
+            hits <= 0;
+            misses <= 0;
+            resp_valid <= 0;
+            resp_rdata <= 0;
+            resp_was_hit <= 0;
+            miss_valid <= 0;
+            miss_addr <= 0;
+            wt_valid <= 0;
+            wt_addr <= 0;
+            wt_data <= 0;
+            for (i = 0; i < LINES; i = i + 1)
+                tags[i] <= 0;
+        end else begin
+            resp_valid <= 0;
+            miss_valid <= 0;
+            wt_valid <= 0;
+
+            if (busy) begin
+                // waiting for the line fill
+                if (fill_valid) begin
+                    data[index] <= fill_data;
+                    tags[index] <= tag;
+                    valid[index] <= 1'b1;
+                    busy <= 0;
+                    resp_valid <= 1;
+                    resp_was_hit <= 0;
+                    resp_rdata <= fill_data >> {word, 6'b0};
+                end
+            end else if (req_valid) begin
+                if (req_write) begin
+                    // write-through; update the line only on a write hit
+                    if (hit) begin
+                        data[index] <= (data[index]
+                            & ~(512'hFFFF_FFFF_FFFF_FFFF << {word, 6'b0}))
+                            | ({448'b0, req_wdata} << {word, 6'b0});
+                        hits <= hits + 1;
+                    end else begin
+                        misses <= misses + 1;
+                    end
+                    wt_valid <= 1;
+                    wt_addr <= req_addr;
+                    wt_data <= req_wdata;
+                    resp_valid <= 1;
+                    resp_was_hit <= hit;
+                end else if (hit) begin
+                    hits <= hits + 1;
+                    resp_valid <= 1;
+                    resp_was_hit <= 1;
+                    resp_rdata <= data[index] >> {word, 6'b0};
+                end else begin
+                    // read miss: fetch the line
+                    misses <= misses + 1;
+                    busy <= 1;
+                    miss_valid <= 1;
+                    miss_addr <= {req_addr[31:6], 6'b0};
+                end
+            end
+        end
+    end
+
+endmodule

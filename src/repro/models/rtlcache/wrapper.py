@@ -1,0 +1,191 @@
+"""Shared-library wrapper and RTLObject for the RTL cache (Fig. 2a).
+
+The cache RTL stores actual data, so CPU reads served by this object
+return bytes that flowed through the hardware model: request in through
+the input struct, 512-bit line fills in through the fill lanes, data
+word back out through the output struct.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from typing import Optional, TextIO
+
+from ...bridge.rtl_object import RTLObject
+from ...bridge.shared_library import RTLSharedLibrary
+from ...bridge.structs import Field, StructSpec
+from ...hdl.verilog import compile_verilog
+from ...soc.event import ClockDomain
+from ...soc.packet import Packet
+from ...soc.simobject import SimObject, Simulation
+
+LINE_BYTES = 64
+FILL_LANES = 8  # 8 x 64-bit words = one 512-bit line
+
+RTLCACHE_INPUT = StructSpec(
+    "rtlcache_in",
+    [
+        Field("req_valid", 1),
+        Field("req_write", 1),
+        Field("req_addr", 32),
+        Field("req_wdata", 64),
+        Field("fill_valid", 1),
+        Field("fill_data", 64, count=FILL_LANES),
+    ],
+)
+
+RTLCACHE_OUTPUT = StructSpec(
+    "rtlcache_out",
+    [
+        Field("resp_valid", 1),
+        Field("resp_rdata", 64),
+        Field("resp_was_hit", 1),
+        Field("miss_valid", 1),
+        Field("miss_addr", 32),
+        Field("wt_valid", 1),
+        Field("wt_addr", 32),
+        Field("wt_data", 64),
+        Field("hits", 32),
+        Field("misses", 32),
+    ],
+)
+
+
+def load_rtl_cache_source() -> str:
+    return (
+        importlib.resources.files("repro.models.rtlcache")
+        .joinpath("rtl_cache.v")
+        .read_text(encoding="utf-8")
+    )
+
+
+class RTLCacheSharedLibrary(RTLSharedLibrary):
+    """tick/reset wrapper around the compiled rtl_cache design."""
+
+    input_spec = RTLCACHE_INPUT
+    output_spec = RTLCACHE_OUTPUT
+
+    def __init__(
+        self,
+        idxw: int = 6,
+        trace_stream: Optional[TextIO] = None,
+        trace_enabled: bool = False,
+    ) -> None:
+        rtl = compile_verilog(
+            load_rtl_cache_source(), top="rtl_cache", params={"IDXW": idxw}
+        )
+        super().__init__(rtl, trace_stream=trace_stream,
+                         trace_enabled=trace_enabled)
+        self.lines = 1 << idxw
+
+    def drive(self, inputs: dict) -> None:
+        poke = self.sim.poke
+        poke("req_valid", inputs["req_valid"])
+        poke("req_write", inputs["req_write"])
+        poke("req_addr", inputs["req_addr"])
+        poke("req_wdata", inputs["req_wdata"])
+        poke("fill_valid", inputs["fill_valid"])
+        line = 0
+        for i, word in enumerate(inputs["fill_data"]):
+            line |= word << (64 * i)
+        poke("fill_data", line)
+
+    def collect(self) -> dict:
+        peek = self.sim.peek
+        return {
+            "resp_valid": peek("resp_valid"),
+            "resp_rdata": peek("resp_rdata"),
+            "resp_was_hit": peek("resp_was_hit"),
+            "miss_valid": peek("miss_valid"),
+            "miss_addr": peek("miss_addr"),
+            "wt_valid": peek("wt_valid"),
+            "wt_addr": peek("wt_addr"),
+            "wt_data": peek("wt_data"),
+            "hits": peek("hit_count"),
+            "misses": peek("miss_count"),
+        }
+
+
+class RTLCacheObject(RTLObject):
+    """Places the RTL cache between a requestor and the memory system.
+
+    cpu_side[0] accepts 8-byte reads/writes; mem_side[0] issues 64-byte
+    line fills and 8-byte write-throughs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        library: Optional[RTLCacheSharedLibrary] = None,
+        clock: Optional[ClockDomain] = None,
+        parent: Optional[SimObject] = None,
+    ) -> None:
+        super().__init__(sim, name, library or RTLCacheSharedLibrary(),
+                         clock=clock, parent=parent)
+        self._current: Optional[Packet] = None   # request held at the pins
+        self._waiting_fill = False
+        self._fill_words: Optional[list[int]] = None
+        self.st_rtl_hits = self.stats.formula(
+            "rtl_hits", lambda: self.library.sim.peek("hit_count"))
+        self.st_rtl_misses = self.stats.formula(
+            "rtl_misses", lambda: self.library.sim.peek("miss_count"))
+
+    # -- struct exchange ---------------------------------------------------
+
+    def build_input(self) -> bytes:
+        fields: dict = {}
+        if self._current is None and self.cpu_req_queue:
+            self._current = self.cpu_req_queue.popleft()
+
+        # Hold the request at the pins until the RTL responds (the cache
+        # derives index/tag from req_addr, including at fill time).
+        pkt = self._current
+        if pkt is not None:
+            fields["req_valid"] = 1
+            fields["req_write"] = 1 if pkt.is_write else 0
+            fields["req_addr"] = pkt.addr & 0xFFFF_FFFF
+            if pkt.is_write and pkt.data is not None:
+                fields["req_wdata"] = int.from_bytes(
+                    pkt.data[:8].ljust(8, b"\0"), "little"
+                )
+
+        if self._fill_words is not None:
+            fields["fill_valid"] = 1
+            fields["fill_data"] = self._fill_words
+            self._fill_words = None
+        return self.library.input_spec.pack(**fields)
+
+    def consume_output(self, outputs: dict) -> None:
+        if outputs["miss_valid"]:
+            self._waiting_fill = True
+            self.send_mem_read(outputs["miss_addr"], LINE_BYTES)
+        if outputs["wt_valid"]:
+            self.send_mem_write(
+                outputs["wt_addr"], 8,
+                data=int(outputs["wt_data"]).to_bytes(8, "little"),
+            )
+        if outputs["resp_valid"]:
+            pkt = self._current
+            if pkt is None:
+                raise RuntimeError(f"{self.name}: response with no request")
+            self._current = None
+            self._waiting_fill = False
+            if pkt.is_read:
+                self.respond_cpu(
+                    pkt,
+                    int(outputs["resp_rdata"]).to_bytes(8, "little")[: pkt.size],
+                )
+            else:
+                self.respond_cpu(pkt)
+
+        # deliver a pending fill for the next tick
+        while self.mem_resp_queue:
+            resp = self.mem_resp_queue.popleft()
+            if resp.is_read and resp.size == LINE_BYTES:
+                data = resp.data or b"\0" * LINE_BYTES
+                self._fill_words = [
+                    int.from_bytes(data[8 * i : 8 * i + 8], "little")
+                    for i in range(FILL_LANES)
+                ]
+            # write-through acks need no action

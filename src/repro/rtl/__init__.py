@@ -1,0 +1,37 @@
+"""RTL simulation kernel: the execution target of the HDL frontends.
+
+Public surface::
+
+    from repro.rtl import RTLModule, RTLSimulator, VCDWriter
+"""
+
+from .kernel import (
+    CombLoopError,
+    CombProcess,
+    Edge,
+    Memory,
+    RTLModule,
+    Signal,
+    SyncProcess,
+    mask_for,
+)
+from .simulator import RTLCheckpoint, RTLSimulator
+from .synth import AreaReport, estimate_area, estimate_verilog
+from .vcd import VCDWriter
+
+__all__ = [
+    "AreaReport",
+    "CombLoopError",
+    "CombProcess",
+    "Edge",
+    "Memory",
+    "RTLModule",
+    "RTLCheckpoint",
+    "RTLSimulator",
+    "Signal",
+    "SyncProcess",
+    "VCDWriter",
+    "estimate_area",
+    "estimate_verilog",
+    "mask_for",
+]

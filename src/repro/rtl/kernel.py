@@ -1,0 +1,235 @@
+"""RTL simulation kernel: signals, memories, processes, modules.
+
+This is the execution substrate that our HDL frontends compile into — the
+role Verilator's generated C++ (or GHDL's machine code) plays in the
+paper.  A compiled design is a flat :class:`RTLModule` holding:
+
+* **signals** — two-valued bit vectors stored as Python ints in one flat
+  value array (``values[idx]``), masked to their width on every write;
+* **memories** — ``reg [w] mem [0:d-1]`` arrays, stored as int lists;
+* **comb processes** — functions ``fn(values, mems)`` that settle
+  combinational logic (``assign`` / ``always @(*)`` / concurrent VHDL);
+* **sync processes** — functions ``fn(values, mems, nba)`` run on a clock
+  edge; non-blocking assignments are staged into ``nba`` and applied after
+  all sync processes have sampled.
+
+Processes carry static read/write sets so the simulator can levelize
+combinational logic once at elaboration time (single-pass settling) and
+detect combinational loops up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+def mask_for(width: int) -> int:
+    if width <= 0:
+        raise ValueError(f"signal width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+@dataclass
+class Signal:
+    """One named bit-vector; ``index`` addresses the module value array."""
+
+    name: str
+    width: int
+    index: int
+    is_input: bool = False
+    is_output: bool = False
+
+    @property
+    def mask(self) -> int:
+        return mask_for(self.width)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Signal {self.name}[{self.width}] @{self.index}>"
+
+
+@dataclass
+class Memory:
+    """A word-addressed memory array (Verilog ``reg [w-1:0] m [0:d-1]``)."""
+
+    name: str
+    width: int
+    depth: int
+    index: int
+
+    @property
+    def mask(self) -> int:
+        return mask_for(self.width)
+
+
+class Edge:
+    POS = "pos"
+    NEG = "neg"
+
+
+@dataclass
+class CombProcess:
+    """Combinational logic: runs whenever any read signal may have changed."""
+
+    fn: Callable  # fn(values, mems) -> None
+    reads: frozenset[int]
+    writes: frozenset[int]
+    name: str = "comb"
+
+
+@dataclass
+class SyncProcess:
+    """Clocked logic: runs on an edge of ``clock``; NBA writes staged.
+
+    ``fn(values, mems, nba, nbm)`` — non-blocking signal writes append
+    ``(signal_index, value)`` to *nba*; non-blocking memory writes append
+    ``(mem_index, addr, value)`` to *nbm*.  Both are applied atomically
+    after every sync process has sampled.
+    """
+
+    fn: Callable  # fn(values, mems, nba, nbm) -> None
+    clock: int          # signal index of the clock
+    edge: str = Edge.POS
+    reads: frozenset[int] = frozenset()
+    writes: frozenset[int] = frozenset()
+    name: str = "sync"
+
+
+class RTLModule:
+    """A flat, elaborated design ready to simulate."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.signals: dict[str, Signal] = {}
+        self.memories: dict[str, Memory] = {}
+        self.comb_procs: list[CombProcess] = []
+        self.sync_procs: list[SyncProcess] = []
+        self.initial_values: dict[int, int] = {}
+        self.initial_mem: dict[int, list[int]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_signal(
+        self,
+        name: str,
+        width: int,
+        is_input: bool = False,
+        is_output: bool = False,
+        init: int = 0,
+    ) -> Signal:
+        if name in self.signals:
+            raise ValueError(f"duplicate signal {name!r} in module {self.name!r}")
+        sig = Signal(name, width, len(self.signals), is_input, is_output)
+        self.signals[name] = sig
+        if init:
+            self.initial_values[sig.index] = init & sig.mask
+        return sig
+
+    def add_memory(self, name: str, width: int, depth: int) -> Memory:
+        if name in self.memories:
+            raise ValueError(f"duplicate memory {name!r} in module {self.name!r}")
+        if depth <= 0:
+            raise ValueError(f"memory depth must be positive, got {depth}")
+        mem = Memory(name, width, depth, len(self.memories))
+        self.memories[name] = mem
+        return mem
+
+    def add_comb(
+        self,
+        fn: Callable,
+        reads: frozenset[int] | set[int],
+        writes: frozenset[int] | set[int],
+        name: str = "comb",
+    ) -> CombProcess:
+        proc = CombProcess(fn, frozenset(reads), frozenset(writes), name)
+        self.comb_procs.append(proc)
+        return proc
+
+    def add_sync(
+        self,
+        fn: Callable,
+        clock: Signal | int,
+        edge: str = Edge.POS,
+        reads: frozenset[int] | set[int] = frozenset(),
+        writes: frozenset[int] | set[int] = frozenset(),
+        name: str = "sync",
+    ) -> SyncProcess:
+        clk_idx = clock.index if isinstance(clock, Signal) else clock
+        proc = SyncProcess(fn, clk_idx, edge, frozenset(reads), frozenset(writes), name)
+        self.sync_procs.append(proc)
+        return proc
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def inputs(self) -> list[Signal]:
+        return [s for s in self.signals.values() if s.is_input]
+
+    @property
+    def outputs(self) -> list[Signal]:
+        return [s for s in self.signals.values() if s.is_output]
+
+    def num_signals(self) -> int:
+        return len(self.signals)
+
+    def fresh_values(self) -> list[int]:
+        vals = [0] * len(self.signals)
+        for idx, v in self.initial_values.items():
+            vals[idx] = v
+        return vals
+
+    def fresh_mems(self) -> list[list[int]]:
+        mems: list[list[int]] = []
+        for mem in sorted(self.memories.values(), key=lambda m: m.index):
+            init = self.initial_mem.get(mem.index)
+            mems.append(list(init) if init else [0] * mem.depth)
+        return mems
+
+    def levelize(self) -> list[CombProcess]:
+        """Order comb processes so one settling pass suffices.
+
+        Raises :class:`CombLoopError` if the comb dependency graph is
+        cyclic.  Uses Kahn's algorithm over the writes→reads edges.
+        """
+        procs = self.comb_procs
+        n = len(procs)
+        # edge i -> j iff proc i writes a signal proc j reads
+        writers: dict[int, list[int]] = {}
+        for i, p in enumerate(procs):
+            for sig in p.writes:
+                writers.setdefault(sig, []).append(i)
+        succs: list[set[int]] = [set() for _ in range(n)]
+        indeg = [0] * n
+        for j, p in enumerate(procs):
+            for sig in p.reads:
+                for i in writers.get(sig, ()):
+                    if i != j and j not in succs[i]:
+                        succs[i].add(j)
+                        indeg[j] += 1
+        order: list[int] = [i for i in range(n) if indeg[i] == 0]
+        head = 0
+        while head < len(order):
+            i = order[head]
+            head += 1
+            for j in succs[i]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    order.append(j)
+        if len(order) != n:
+            cyclic = [procs[i].name for i in range(n) if indeg[i] > 0]
+            raise CombLoopError(
+                f"combinational loop in module {self.name!r} involving: "
+                + ", ".join(cyclic)
+            )
+        return [procs[i] for i in order]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RTLModule {self.name}: {len(self.signals)} signals, "
+            f"{len(self.memories)} memories, {len(self.comb_procs)} comb, "
+            f"{len(self.sync_procs)} sync>"
+        )
+
+
+class CombLoopError(RuntimeError):
+    """Raised when combinational logic forms a zero-delay cycle."""

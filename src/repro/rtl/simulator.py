@@ -1,0 +1,222 @@
+"""Cycle-level simulator for elaborated :class:`RTLModule` designs.
+
+Evaluation model (mirrors a Verilated model's ``eval()`` loop):
+
+1. ``poke`` inputs, then ``settle()`` runs combinational processes —
+   in levelized order when the word-level dependency graph is acyclic
+   (one pass reaches the fixpoint), otherwise iteratively to a fixpoint
+   (bit-level feedback such as ripple carries; genuine zero-delay loops
+   fail to converge and raise).
+2. ``tick()`` performs one full clock cycle: all sync processes sample the
+   settled state, non-blocking assignments are staged and applied
+   atomically, then combinational logic settles again.
+
+The simulator also provides checkpoint save/restore (the paper notes
+Verilator checkpointing as an enabled feature) and optional VCD tracing
+with runtime enable/disable.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Optional
+
+from .kernel import CombLoopError, Edge, RTLModule, Signal
+from .vcd import VCDWriter
+
+
+@dataclass
+class RTLCheckpoint:
+    """A resumable snapshot of simulator state."""
+
+    cycle: int
+    values: list[int]
+    mems: list[list[int]]
+
+
+class RTLSimulator:
+    """Drives one elaborated RTL design."""
+
+    #: iteration cap for the fixpoint fallback (bit-level feedback
+    #: through word-granularity dependencies, e.g. ripple carries)
+    MAX_SETTLE_PASSES = 256
+
+    def __init__(
+        self,
+        module: RTLModule,
+        trace: Optional[VCDWriter] = None,
+        clock: str = "clk",
+    ) -> None:
+        self.module = module
+        self.values: list[int] = module.fresh_values()
+        self.mems: list[list[int]] = module.fresh_mems()
+        # Prefer a levelized single-pass order; designs whose *word-level*
+        # dependency graph is cyclic (e.g. a ripple-carry vector written
+        # bit-by-bit) fall back to iterative settling — genuine
+        # combinational loops then fail to converge and raise at init.
+        try:
+            self._levelized = module.levelize()
+            self._iterative = False
+        except CombLoopError:
+            self._levelized = list(module.comb_procs)
+            self._iterative = True
+        self.cycle = 0
+        self.trace = trace
+        self._clock_sig: Optional[Signal] = module.signals.get(clock)
+        # Pre-split sync procs by edge for the hot loop.
+        self._pos_procs = [p for p in module.sync_procs if p.edge == Edge.POS]
+        self._neg_procs = [p for p in module.sync_procs if p.edge == Edge.NEG]
+        self._sig_cache = module.signals
+        if self._iterative:
+            # verify convergence up front: a genuine zero-delay loop
+            # oscillates and is reported here rather than mid-simulation
+            self.settle()
+
+    # -- I/O -----------------------------------------------------------------
+
+    def _sig(self, name: str) -> Signal:
+        try:
+            return self._sig_cache[name]
+        except KeyError:
+            raise KeyError(
+                f"no signal {name!r} in module {self.module.name!r}"
+            ) from None
+
+    def poke(self, name: str, value: int) -> None:
+        """Drive a signal (typically a module input)."""
+        sig = self._sig(name)
+        self.values[sig.index] = value & sig.mask
+
+    def peek(self, name: str) -> int:
+        return self.values[self._sig(name).index]
+
+    def peek_mem(self, name: str, addr: int) -> int:
+        mem = self.module.memories[name]
+        return self.mems[mem.index][addr]
+
+    def poke_mem(self, name: str, addr: int, value: int) -> None:
+        mem = self.module.memories[name]
+        self.mems[mem.index][addr] = value & mem.mask
+
+    # -- evaluation -------------------------------------------------------------
+
+    def settle(self) -> None:
+        """Run combinational logic to its fixpoint.
+
+        Levelized designs settle in one pass; iterative-mode designs
+        repeat passes until values stop changing (raising
+        :class:`CombLoopError` if they never do).
+        """
+        v, m = self.values, self.mems
+        if not self._iterative:
+            for proc in self._levelized:
+                proc.fn(v, m)
+            return
+        for _ in range(self.MAX_SETTLE_PASSES):
+            before = list(v)
+            for proc in self._levelized:
+                proc.fn(v, m)
+            if v == before:
+                return
+        raise CombLoopError(
+            f"combinational logic in {self.module.name!r} did not "
+            f"converge within {self.MAX_SETTLE_PASSES} passes "
+            "(genuine zero-delay loop?)"
+        )
+
+    def reset(self, reset_signal: str = "rst", cycles: int = 2) -> None:
+        """Assert *reset_signal* for *cycles* clock cycles, then deassert.
+
+        This is the ``reset`` entry point the paper's shared-library
+        wrapper must expose.  Designs without a reset input are simply
+        re-initialised.
+        """
+        if reset_signal in self.module.signals:
+            self.poke(reset_signal, 1)
+            self.settle()
+            for _ in range(cycles):
+                self.tick()
+            self.poke(reset_signal, 0)
+            self.settle()
+        else:
+            self.values = self.module.fresh_values()
+            self.mems = self.module.fresh_mems()
+            self.settle()
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance one (or more) full clock cycles."""
+        v, m = self.values, self.mems
+        pos, neg = self._pos_procs, self._neg_procs
+        clk = self._clock_sig
+        for _ in range(cycles):
+            # Rising edge: sample settled state, stage NBAs.
+            # nba holds (signal_index, value) full-register writes or
+            # (signal_index, bits, mask) partial writes (bit/part-select
+            # targets); nbm holds (mem_index, addr, value).
+            nba: list = []
+            nbm: list = []
+            for proc in pos:
+                proc.fn(v, m, nba, nbm)
+            self._apply_nba(v, nba)
+            for mi, addr, val in nbm:
+                m[mi][addr] = val
+            if self._iterative:
+                self.settle()
+            else:
+                for proc in self._levelized:
+                    proc.fn(v, m)
+            if neg:
+                nba = []
+                nbm = []
+                for proc in neg:
+                    proc.fn(v, m, nba, nbm)
+                self._apply_nba(v, nba)
+                for mi, addr, val in nbm:
+                    m[mi][addr] = val
+                if self._iterative:
+                    self.settle()
+                else:
+                    for proc in self._levelized:
+                        proc.fn(v, m)
+            self.cycle += 1
+            if self.trace is not None and self.trace.enabled:
+                # Show the clock toggling so waveforms look natural.
+                if clk is not None:
+                    v[clk.index] = 1
+                self.trace.sample(self.cycle * 2 - 1, v)
+                if clk is not None:
+                    v[clk.index] = 0
+                self.trace.sample(self.cycle * 2, v)
+
+    @staticmethod
+    def _apply_nba(v: list[int], nba: list) -> None:
+        """Apply staged non-blocking writes in program order.
+
+        Partial (masked) entries merge with whatever earlier entries of
+        the same edge produced, so multiple bit-select NBAs to one
+        register compose (e.g. a VHDL for-loop shift register).
+        """
+        for entry in nba:
+            if len(entry) == 2:
+                idx, val = entry
+                v[idx] = val
+            else:
+                idx, bits, mask = entry
+                v[idx] = (v[idx] & ~mask) | (bits & mask)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def save_checkpoint(self) -> RTLCheckpoint:
+        return RTLCheckpoint(
+            cycle=self.cycle,
+            values=list(self.values),
+            mems=copy.deepcopy(self.mems),
+        )
+
+    def restore_checkpoint(self, ckpt: RTLCheckpoint) -> None:
+        if len(ckpt.values) != len(self.values):
+            raise ValueError("checkpoint does not match this design")
+        self.cycle = ckpt.cycle
+        self.values = list(ckpt.values)
+        self.mems = copy.deepcopy(ckpt.mems)

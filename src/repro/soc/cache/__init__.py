@@ -1,0 +1,5 @@
+"""Cache hierarchy: classic MSHR-based caches and prefetchers."""
+
+from .cache import BLOCK, BasePrefetcher, Cache, MSHR, StridePrefetcher
+
+__all__ = ["BLOCK", "BasePrefetcher", "Cache", "MSHR", "StridePrefetcher"]

@@ -1,0 +1,374 @@
+"""Out-of-order-style timing core (Table 1's core model).
+
+Parameters follow the paper: 3-wide issue/retire, 192-entry ROB, 48-entry
+load and store queues, commit of up to 4 instructions per cycle, 2 GHz.
+The model is a structural approximation in the spirit of interval
+simulation: µops enter the ROB in order, complete out of order (ALU after
+a fixed latency, memory ops when the cache responds), and commit in
+order.  Branch mispredicts stall the front end for a restart penalty.
+
+The core exposes *event wires* — per-cycle pulse counts for committed
+instructions and (via the cache's miss listener) L1D misses — which is
+what the paper's PMU use case taps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from ..event import Event, EventPriority
+from ..packet import MemCmd, Packet
+from ..ports import RequestPort
+from ..simobject import SimObject, Simulation
+from . import uop as U
+from .uop import UopStream
+
+
+class EventWire:
+    """An accumulating pulse counter connecting producers to the PMU."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+
+    def pulse(self, n: int = 1) -> None:
+        self.count += n
+
+    def drain(self, limit: Optional[int] = None) -> int:
+        """Take up to *limit* pulses (all if None)."""
+        if limit is None or self.count <= limit:
+            taken, self.count = self.count, 0
+        else:
+            taken = limit
+            self.count -= limit
+        return taken
+
+
+class _RobEntry:
+    __slots__ = ("kind", "done")
+
+    def __init__(self, kind: int) -> None:
+        self.kind = kind
+        self.done = False
+
+
+class OoOCore(SimObject):
+    """One out-of-order core consuming a µop stream."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        issue_width: int = 3,
+        commit_width: int = 4,
+        rob_size: int = 192,
+        ldq_size: int = 48,
+        stq_size: int = 48,
+        mispredict_penalty: int = 12,
+        parent: Optional[SimObject] = None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        self.issue_width = issue_width
+        self.commit_width = commit_width
+        self.rob_size = rob_size
+        self.ldq_size = ldq_size
+        self.stq_size = stq_size
+        self.mispredict_penalty = mispredict_penalty
+
+        self.dcache_port = RequestPort(
+            f"{name}.dcache_port",
+            recv_timing_resp=self._recv_mem_resp,
+            recv_req_retry=self._mem_retry,
+        )
+        # Instruction fetches (FETCH µops) go to the L1I when connected;
+        # an unconnected port makes fetches free (µop-stream workloads).
+        self.icache_port = RequestPort(
+            f"{name}.icache_port",
+            recv_timing_resp=self._recv_fetch_resp,
+            recv_req_retry=self._fetch_retry,
+        )
+        self._fetch_outstanding: Optional[Packet] = None
+        self._fetch_blocked = False
+
+        self.stream: Optional[UopStream] = None
+        # interrupt support: nested streams + pending handler queue
+        self._stream_stack: list[UopStream] = []
+        self._pending_irqs: deque = deque()
+        self._draining_for_irq = False
+        self.irq_entry_penalty = 20   # precise-state save / vector fetch
+        self.irq_exit_penalty = 12    # restore + pipeline refill
+        self._rob: deque[_RobEntry] = deque()
+        self._ldq_used = 0
+        self._stq_used = 0
+        self._inflight: dict[int, _RobEntry] = {}  # pkt_id -> entry
+        self._alu_done: list[tuple[int, _RobEntry]] = []  # (cycle, entry) heap-free
+        self._stall_until = 0           # front-end restart after mispredict
+        self._mem_blocked_pkt: Optional[Packet] = None
+        self._sleeping = False
+        self.done = False
+        self.on_done: Optional[Callable[[], None]] = None
+
+        # event wires (PMU taps)
+        self.commit_wire = EventWire(f"{name}.commits")
+
+        self._cycle = 0
+        self._cycle_event = Event(self._do_cycle, f"{name}.cycle")
+
+        s = self.stats
+        self.st_cycles = s.scalar("cycles", "core cycles (including sleep)")
+        self.st_committed = s.scalar("committed", "committed instructions")
+        self.st_loads = s.scalar("loads", "load µops issued")
+        self.st_stores = s.scalar("stores", "store µops issued")
+        self.st_branches = s.scalar("branches", "branch µops")
+        self.st_mispredicts = s.scalar("mispredicts", "mispredicted branches")
+        self.st_sleep_cycles = s.scalar("sleep_cycles", "cycles spent sleeping")
+        self.st_issue_stalls = s.scalar(
+            "issue_stalls", "cycles with zero issue while runnable"
+        )
+        self.st_interrupts = s.scalar(
+            "interrupts", "interrupts taken (handler activations)"
+        )
+        self.st_fetches = s.scalar(
+            "ifetches", "instruction-line fetches sent to the L1I"
+        )
+
+    # -- control -----------------------------------------------------------
+
+    def run_stream(self, stream) -> None:
+        """Attach a workload.
+
+        If the simulation is already running (e.g. a second program is
+        launched after boot), the core starts on the next cycle.
+        """
+        self.stream = UopStream(stream) if not isinstance(stream, UopStream) else stream
+        self.done = False
+        if (
+            self.sim._started
+            and not self._cycle_event.scheduled
+            and not self._sleeping
+        ):
+            self.schedule_cycles(self._cycle_event, 1, EventPriority.CLOCK)
+
+    def startup(self) -> None:
+        if self.stream is not None and not self._cycle_event.scheduled:
+            self.schedule_cycles(self._cycle_event, 1, EventPriority.CLOCK)
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    # -- pipeline ------------------------------------------------------------
+
+    def _do_cycle(self) -> None:
+        self._cycle += 1
+        self.st_cycles.inc()
+        self._commit()
+        issued = self._issue()
+        if (
+            issued == 0
+            and not self._sleeping
+            and not self.done
+            and self._rob
+        ):
+            self.st_issue_stalls.inc()
+        if self.done:
+            return
+        if self._sleeping:
+            return  # wake event will restart cycling
+        self.schedule_cycles(self._cycle_event, 1, EventPriority.CLOCK)
+
+    def _commit(self) -> None:
+        rob = self._rob
+        committed = 0
+        while rob and committed < self.commit_width:
+            entry = rob[0]
+            if not entry.done:
+                break
+            rob.popleft()
+            committed += 1
+            if entry.kind == U.LOAD:
+                self._ldq_used -= 1
+            elif entry.kind == U.STORE:
+                self._stq_used -= 1
+        if committed:
+            self.st_committed.inc(committed)
+            self.commit_wire.pulse(committed)
+        # ALU completion bookkeeping (mark entries whose latency elapsed)
+        if self._alu_done:
+            still = []
+            for cyc, entry in self._alu_done:
+                if cyc <= self._cycle:
+                    entry.done = True
+                else:
+                    still.append((cyc, entry))
+            self._alu_done = still
+
+    def raise_interrupt(self, handler_uops) -> None:
+        """Deliver an interrupt: once the ROB drains (precise state), the
+        core switches to *handler_uops* and returns to the interrupted
+        stream when the handler completes.  Entry/exit penalties model
+        the state save/restore and pipeline refill."""
+        self._pending_irqs.append(handler_uops)
+
+    def _enter_irq_if_ready(self) -> bool:
+        """Returns True while an interrupt entry is in progress."""
+        if not self._pending_irqs:
+            return False
+        if self._rob:
+            self._draining_for_irq = True
+            return True  # drain before vectoring (precise interrupts)
+        handler = self._pending_irqs.popleft()
+        self._draining_for_irq = False
+        assert self.stream is not None
+        self._stream_stack.append(self.stream)
+        self.stream = UopStream(iter(handler))
+        self._stall_until = self._cycle + self.irq_entry_penalty
+        self.st_interrupts.inc()
+        return True
+
+    def _issue(self) -> int:
+        if self.stream is None or self._cycle < self._stall_until:
+            return 0
+        if self._mem_blocked_pkt is not None:
+            return 0  # waiting for cache retry
+        if self._fetch_outstanding is not None:
+            return 0  # front-end starved until the i-line arrives
+        if self._pending_irqs and self._enter_irq_if_ready():
+            return 0
+        issued = 0
+        while issued < self.issue_width:
+            kind, arg = self.stream.peek()
+            if kind == U.END:
+                if not self._rob and not self.done:
+                    if self._stream_stack:
+                        # interrupt handler finished: return from trap
+                        self.stream = self._stream_stack.pop()
+                        self._stall_until = (
+                            self._cycle + self.irq_exit_penalty
+                        )
+                    else:
+                        self._finish()
+                break
+            if kind == U.FETCH:
+                # front-end: block until the i-line arrives (cold lines
+                # only; the ISA layer models a resident i-buffer)
+                if self._fetch_outstanding is not None:
+                    break
+                self.stream.pop()
+                if self.icache_port.connected:
+                    self.st_fetches.inc()
+                    pkt = Packet(MemCmd.ReadReq, arg, 8,
+                                 requestor=self.name)
+                    self._fetch_outstanding = pkt
+                    if not self.icache_port.send_timing_req(pkt):
+                        self._fetch_blocked = True
+                    break
+                continue
+            if kind == U.SLEEP:
+                if self._rob:
+                    break  # drain before sleeping
+                self.stream.pop()
+                self._enter_sleep(arg)
+                break
+            if len(self._rob) >= self.rob_size:
+                break
+            if kind == U.LOAD and self._ldq_used >= self.ldq_size:
+                break
+            if kind == U.STORE and self._stq_used >= self.stq_size:
+                break
+            self.stream.pop()
+            entry = _RobEntry(kind)
+            self._rob.append(entry)
+            issued += 1
+            if kind == U.ALU:
+                self._alu_done.append((self._cycle + arg, entry))
+            elif kind == U.BRANCH:
+                entry.done = True
+                self.st_branches.inc()
+                if arg:
+                    self.st_mispredicts.inc()
+                    self._stall_until = self._cycle + self.mispredict_penalty
+                    break
+            elif kind == U.LOAD:
+                self.st_loads.inc()
+                self._ldq_used += 1
+                if not self._send_mem(entry, MemCmd.ReadReq, arg):
+                    break
+            elif kind == U.STORE:
+                self.st_stores.inc()
+                self._stq_used += 1
+                if not self._send_mem(entry, MemCmd.WriteReq, arg):
+                    break
+        return issued
+
+    def _send_mem(self, entry: _RobEntry, cmd: MemCmd, addr: int) -> bool:
+        size = 8
+        # keep accesses inside one cache line
+        if addr % 64 > 56:
+            addr -= addr % 8
+        # µop stores are timing-only (no payload): functional memory
+        # state belongs to the workload layer (ISA interpreter, host
+        # apps), which has already applied the architectural effect.
+        pkt = Packet(cmd, addr, size, requestor=self.name)
+        self._inflight[pkt.pkt_id] = entry
+        if not self.dcache_port.send_timing_req(pkt):
+            self._mem_blocked_pkt = pkt
+            return False
+        return True
+
+    def _mem_retry(self) -> None:
+        pkt = self._mem_blocked_pkt
+        if pkt is None:
+            return
+        self._mem_blocked_pkt = None
+        if not self.dcache_port.send_timing_req(pkt):
+            self._mem_blocked_pkt = pkt
+
+    def _recv_fetch_resp(self, pkt: Packet) -> bool:
+        if (self._fetch_outstanding is not None
+                and pkt.pkt_id == self._fetch_outstanding.pkt_id):
+            self._fetch_outstanding = None
+        return True
+
+    def _fetch_retry(self) -> None:
+        if self._fetch_blocked and self._fetch_outstanding is not None:
+            self._fetch_blocked = False
+            if not self.icache_port.send_timing_req(self._fetch_outstanding):
+                self._fetch_blocked = True
+
+    def _recv_mem_resp(self, pkt: Packet) -> bool:
+        entry = self._inflight.pop(pkt.pkt_id, None)
+        if entry is not None:
+            entry.done = True
+        return True
+
+    # -- sleep / finish -----------------------------------------------------------
+
+    def _enter_sleep(self, cycles: int) -> None:
+        self._sleeping = True
+        self.st_sleep_cycles.inc(cycles)
+        self.st_cycles.inc(cycles)
+        self._cycle += cycles
+
+        def wake() -> None:
+            self._sleeping = False
+            self.schedule_cycles(self._cycle_event, 1, EventPriority.CLOCK)
+
+        self.sim.eventq.schedule_fn(
+            wake,
+            self.now + self.clock.cycles_to_ticks(cycles),
+            EventPriority.CLOCK,
+            name=f"{self.name}.wake",
+        )
+
+    def _finish(self) -> None:
+        self.done = True
+        if self.on_done is not None:
+            self.on_done()
+
+    def ipc(self) -> float:
+        cycles = self.st_cycles.value()
+        return self.st_committed.value() / cycles if cycles else 0.0

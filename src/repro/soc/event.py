@@ -1,0 +1,228 @@
+"""Discrete-event simulation core.
+
+This is the substrate equivalent of gem5's ``EventQueue``/``EventManager``.
+Time is measured in integer *ticks*; by convention 1 tick = 1 picosecond,
+so a 2 GHz clock has a period of 500 ticks.  All simulated objects share a
+single :class:`EventQueue` owned by the :class:`Simulation`.
+
+Design notes
+------------
+* Events are ``(tick, priority, seq, callback)`` heap entries.  ``seq`` is a
+  monotonically increasing insertion counter so that events scheduled for
+  the same tick and priority fire in insertion order (gem5 gives the same
+  guarantee), which keeps simulations deterministic.
+* Cancellation is *lazy*: :meth:`EventQueue.deschedule` marks the entry dead
+  and the main loop skips it when popped.  This keeps scheduling O(log n)
+  without a secondary index.
+* Clock domains translate between cycles and ticks.  Components that tick
+  every cycle (e.g. an RTL model) register a :class:`ClockedObject`-style
+  periodic event instead of rescheduling manually.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+# Tick base: 1 tick == 1 ps.
+TICKS_PER_SECOND = 10**12
+
+
+def frequency_to_period(freq_hz: float) -> int:
+    """Return the clock period in ticks for a frequency in Hz.
+
+    >>> frequency_to_period(2e9)
+    500
+    """
+    if freq_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_hz}")
+    return int(round(TICKS_PER_SECOND / freq_hz))
+
+
+class EventPriority:
+    """Relative ordering of events scheduled for the same tick.
+
+    Mirrors gem5's priority bands: wakeups and dumps straddle the default
+    simulation work so that, e.g., a stats dump scheduled "at tick T" sees
+    all state produced by normal events at T.
+    """
+
+    MINIMUM = -100
+    CLOCK = -20          # clock-edge events (RTL ticks, CPU cycles)
+    DEFAULT = 0
+    STATS = 50           # stat dump / visitors
+    EXIT = 90            # simulation-exit events
+    MAXIMUM = 100
+
+
+@dataclass(order=True)
+class _Entry:
+    tick: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    alive: bool = field(default=True, compare=False)
+
+
+class Event:
+    """Handle for a scheduled (or schedulable) callback.
+
+    A handle can be rescheduled after it fires or is descheduled; it cannot
+    be scheduled twice concurrently.
+    """
+
+    __slots__ = ("callback", "name", "_entry")
+
+    def __init__(self, callback: Callable[[], None], name: str = "event"):
+        self.callback = callback
+        self.name = name
+        self._entry: Optional[_Entry] = None
+
+    @property
+    def scheduled(self) -> bool:
+        return self._entry is not None and self._entry.alive
+
+    def when(self) -> int:
+        if not self.scheduled:
+            raise RuntimeError(f"{self.name} is not scheduled")
+        assert self._entry is not None
+        return self._entry.tick
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"@{self._entry.tick}" if self.scheduled else "idle"
+        return f"<Event {self.name} {state}>"
+
+
+class EventQueue:
+    """A deterministic binary-heap event queue."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+        self._seq = 0
+        self.cur_tick = 0
+        # Number of callbacks actually executed (dead entries excluded).
+        self.executed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if e.alive)
+
+    def empty(self) -> bool:
+        return not any(e.alive for e in self._heap)
+
+    def schedule(
+        self,
+        event: Event,
+        tick: int,
+        priority: int = EventPriority.DEFAULT,
+    ) -> Event:
+        """Schedule *event* at absolute time *tick*."""
+        if tick < self.cur_tick:
+            raise ValueError(
+                f"cannot schedule {event.name} at {tick} "
+                f"(current tick {self.cur_tick})"
+            )
+        if event.scheduled:
+            raise RuntimeError(f"{event.name} is already scheduled")
+        entry = _Entry(tick, priority, self._seq, event.callback)
+        self._seq += 1
+        event._entry = entry
+        heapq.heappush(self._heap, entry)
+        return event
+
+    def schedule_fn(
+        self,
+        callback: Callable[[], None],
+        tick: int,
+        priority: int = EventPriority.DEFAULT,
+        name: str = "fn",
+    ) -> Event:
+        """Convenience: wrap *callback* in a fresh :class:`Event`."""
+        return self.schedule(Event(callback, name), tick, priority)
+
+    def deschedule(self, event: Event) -> None:
+        if not event.scheduled:
+            raise RuntimeError(f"{event.name} is not scheduled")
+        assert event._entry is not None
+        event._entry.alive = False
+        event._entry = None
+
+    def reschedule(
+        self,
+        event: Event,
+        tick: int,
+        priority: int = EventPriority.DEFAULT,
+    ) -> Event:
+        if event.scheduled:
+            self.deschedule(event)
+        return self.schedule(event, tick, priority)
+
+    # -- main loop -------------------------------------------------------
+
+    def service_one(self) -> bool:
+        """Pop and run the next live event.  Returns False if none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if not entry.alive:
+                continue
+            entry.alive = False
+            self.cur_tick = entry.tick
+            self.executed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, *until* is reached, or
+        *max_events* callbacks have executed.  Returns the current tick.
+
+        When ``until`` is given, events scheduled exactly at ``until`` are
+        *not* executed; the queue is left positioned at ``until`` so the
+        simulation can be resumed (gem5's ``simulate(n)`` semantics).
+        """
+        executed = 0
+        while self._heap:
+            entry = self._heap[0]
+            if not entry.alive:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry.tick >= until:
+                self.cur_tick = until
+                return self.cur_tick
+            if max_events is not None and executed >= max_events:
+                return self.cur_tick
+            heapq.heappop(self._heap)
+            entry.alive = False
+            self.cur_tick = entry.tick
+            self.executed += 1
+            executed += 1
+            entry.callback()
+        if until is not None and until > self.cur_tick:
+            self.cur_tick = until
+        return self.cur_tick
+
+
+class ClockDomain:
+    """Converts between cycles and ticks for one clock.
+
+    gem5 analogue: ``ClockDomain`` + ``ClockedObject`` helpers.
+    """
+
+    def __init__(self, freq_hz: float, name: str = "clk") -> None:
+        self.name = name
+        self.freq_hz = freq_hz
+        self.period = frequency_to_period(freq_hz)
+
+    def cycles_to_ticks(self, cycles: int) -> int:
+        return cycles * self.period
+
+    def ticks_to_cycles(self, ticks: int) -> int:
+        return ticks // self.period
+
+    def next_edge(self, now: int) -> int:
+        """First tick >= *now* aligned to a rising edge of this clock."""
+        rem = now % self.period
+        return now if rem == 0 else now + (self.period - rem)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ClockDomain {self.name} {self.freq_hz / 1e9:.3f} GHz>"

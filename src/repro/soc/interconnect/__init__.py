@@ -1,0 +1,5 @@
+"""On-chip interconnect: the coherent crossbar."""
+
+from .xbar import AddrRange, Crossbar
+
+__all__ = ["AddrRange", "Crossbar"]

@@ -1,0 +1,88 @@
+"""IOMaster: a software-driven timing requestor for MMIO traffic.
+
+Models the core-side of memory-mapped device accesses (PMU counter
+reads/writes, NVDLA CSB doorbells) without threading them through the
+µop pipeline: host software enqueues reads/writes with completion
+callbacks, and the IOMaster issues them over a timing port, one at a
+time, in order — the behaviour of strongly-ordered device memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from .packet import MemCmd, Packet
+from .ports import RequestPort
+from .simobject import SimObject, Simulation
+
+
+class IOMaster(SimObject):
+    """Issues ordered timing requests on behalf of host software."""
+
+    def __init__(
+        self, sim: Simulation, name: str, parent: Optional[SimObject] = None
+    ) -> None:
+        super().__init__(sim, name, parent)
+        self.port = RequestPort(
+            f"{name}.port",
+            recv_timing_resp=self._recv_resp,
+            recv_req_retry=self._retry,
+        )
+        self._queue: deque[tuple[Packet, Optional[Callable]]] = deque()
+        self._outstanding: Optional[tuple[Packet, Optional[Callable]]] = None
+        self.st_reads = self.stats.scalar("reads", "MMIO reads issued")
+        self.st_writes = self.stats.scalar("writes", "MMIO writes issued")
+
+    def read(
+        self, addr: int, size: int = 4,
+        callback: Optional[Callable[[Packet], None]] = None, **meta,
+    ) -> None:
+        pkt = Packet(MemCmd.ReadReq, addr, size, requestor=self.name)
+        pkt.meta.update(meta)
+        self.st_reads.inc()
+        self._enqueue(pkt, callback)
+
+    def write(
+        self, addr: int, data: bytes,
+        callback: Optional[Callable[[Packet], None]] = None, **meta,
+    ) -> None:
+        pkt = Packet(MemCmd.WriteReq, addr, len(data), data=data,
+                     requestor=self.name)
+        pkt.meta.update(meta)
+        self.st_writes.inc()
+        self._enqueue(pkt, callback)
+
+    def write_word(self, addr: int, value: int, size: int = 4, **kw) -> None:
+        self.write(addr, (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little"), **kw)
+
+    @property
+    def busy(self) -> bool:
+        return self._outstanding is not None or bool(self._queue)
+
+    # -- internals --------------------------------------------------------
+
+    def _enqueue(self, pkt: Packet, callback: Optional[Callable]) -> None:
+        self._queue.append((pkt, callback))
+        self._try_issue()
+
+    def _try_issue(self) -> None:
+        if self._outstanding is not None or not self._queue:
+            return
+        pkt, callback = self._queue[0]
+        if self.port.send_timing_req(pkt):
+            self._queue.popleft()
+            self._outstanding = (pkt, callback)
+
+    def _retry(self) -> None:
+        self._try_issue()
+
+    def _recv_resp(self, pkt: Packet) -> bool:
+        assert self._outstanding is not None
+        out_pkt, callback = self._outstanding
+        assert out_pkt.pkt_id == pkt.pkt_id, "MMIO responses must be in order"
+        self._outstanding = None
+        if callback is not None:
+            callback(pkt)
+        self._try_issue()
+        return True

@@ -1,0 +1,25 @@
+"""Main-memory models: functional store, ideal memory, DRAM controllers."""
+
+from .dram import (
+    BLOCK,
+    DRAMConfig,
+    DRAMController,
+    MEMORY_PRESETS,
+    ddr4_2400,
+    gddr5,
+    hbm,
+)
+from .ideal import IdealMemory
+from .physmem import PhysicalMemory
+
+__all__ = [
+    "BLOCK",
+    "DRAMConfig",
+    "DRAMController",
+    "IdealMemory",
+    "MEMORY_PRESETS",
+    "PhysicalMemory",
+    "ddr4_2400",
+    "gddr5",
+    "hbm",
+]

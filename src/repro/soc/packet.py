@@ -1,0 +1,150 @@
+"""Memory-system packets.
+
+The analogue of gem5's ``Packet``/``MemCmd``.  A packet is created for a
+request, travels request-side through the hierarchy, is turned around at
+the responder (``make_response``) and routes back using the sender-state
+stack that intermediate components push onto it — the same discipline gem5
+uses so that crossbars/caches can restore routing info on the way back.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+
+class MemCmd(enum.Enum):
+    ReadReq = enum.auto()
+    ReadResp = enum.auto()
+    WriteReq = enum.auto()
+    WriteResp = enum.auto()
+    WritebackDirty = enum.auto()   # cache eviction traffic; no response
+    PrefetchReq = enum.auto()      # prefetcher-generated read
+    PrefetchResp = enum.auto()
+
+    @property
+    def is_read(self) -> bool:
+        return self in (MemCmd.ReadReq, MemCmd.ReadResp,
+                        MemCmd.PrefetchReq, MemCmd.PrefetchResp)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (MemCmd.WriteReq, MemCmd.WriteResp, MemCmd.WritebackDirty)
+
+    @property
+    def is_request(self) -> bool:
+        return self in (MemCmd.ReadReq, MemCmd.WriteReq,
+                        MemCmd.WritebackDirty, MemCmd.PrefetchReq)
+
+    @property
+    def is_response(self) -> bool:
+        return self in (MemCmd.ReadResp, MemCmd.WriteResp, MemCmd.PrefetchResp)
+
+    @property
+    def needs_response(self) -> bool:
+        return self in (MemCmd.ReadReq, MemCmd.WriteReq, MemCmd.PrefetchReq)
+
+    def response_for(self) -> "MemCmd":
+        table = {
+            MemCmd.ReadReq: MemCmd.ReadResp,
+            MemCmd.WriteReq: MemCmd.WriteResp,
+            MemCmd.PrefetchReq: MemCmd.PrefetchResp,
+        }
+        if self not in table:
+            raise ValueError(f"{self} does not take a response")
+        return table[self]
+
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """One memory transaction (request or its in-place response)."""
+
+    __slots__ = (
+        "cmd", "addr", "size", "data", "pkt_id", "req_tick", "resp_tick",
+        "requestor", "sender_states", "dest_port", "vaddr", "meta",
+    )
+
+    def __init__(
+        self,
+        cmd: MemCmd,
+        addr: int,
+        size: int,
+        data: Optional[bytes] = None,
+        requestor: str = "?",
+        vaddr: Optional[int] = None,
+    ) -> None:
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        if size <= 0:
+            raise ValueError(f"packet size must be positive, got {size}")
+        self.cmd = cmd
+        self.addr = addr
+        self.size = size
+        self.data = data
+        self.pkt_id = next(_packet_ids)
+        self.req_tick: Optional[int] = None
+        self.resp_tick: Optional[int] = None
+        self.requestor = requestor
+        # Stack of opaque per-hop state (gem5 SenderState).
+        self.sender_states: list[Any] = []
+        self.dest_port: Optional[Any] = None
+        self.vaddr = vaddr
+        # Free-form metadata (e.g. NVDLA stream tags, PMU register ids).
+        self.meta: dict[str, Any] = {}
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def is_read(self) -> bool:
+        return self.cmd.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.cmd.is_write
+
+    @property
+    def is_request(self) -> bool:
+        return self.cmd.is_request
+
+    @property
+    def is_response(self) -> bool:
+        return self.cmd.is_response
+
+    @property
+    def needs_response(self) -> bool:
+        return self.cmd.needs_response
+
+    def block_addr(self, block_size: int = 64) -> int:
+        return self.addr & ~(block_size - 1)
+
+    # -- sender state ------------------------------------------------------
+
+    def push_state(self, state: Any) -> None:
+        self.sender_states.append(state)
+
+    def pop_state(self) -> Any:
+        if not self.sender_states:
+            raise RuntimeError(f"packet {self.pkt_id}: sender-state underflow")
+        return self.sender_states.pop()
+
+    # -- request/response turnaround ----------------------------------------
+
+    def make_response(self, data: Optional[bytes] = None) -> "Packet":
+        """Convert this request in place into its response (gem5 style)."""
+        self.cmd = self.cmd.response_for()
+        if data is not None:
+            if len(data) != self.size:
+                raise ValueError(
+                    f"response data length {len(data)} != packet size {self.size}"
+                )
+            self.data = data
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet #{self.pkt_id} {self.cmd.name} "
+            f"addr={self.addr:#x} size={self.size} from={self.requestor}>"
+        )

@@ -1,0 +1,237 @@
+"""Timing ports with gem5's retry-based flow control.
+
+A :class:`RequestPort` (gem5 "master"/mem-side port) pairs with a
+:class:`ResponsePort` (gem5 "slave"/cpu-side port).  The protocol is the
+classic three-call handshake:
+
+* ``req.send_timing_req(pkt)`` → peer's owner ``recv_timing_req(pkt)``;
+  returning ``False`` means *busy*: the responder promises to call
+  ``send_retry_req()`` later, upon which the requester's owner gets
+  ``recv_req_retry()`` and may resend.
+* Symmetrically for responses via ``send_timing_resp``/``recv_resp_retry``.
+* ``send_functional(pkt)`` performs an immediate, timing-free access
+  (used for loading NVDLA traces into memory, debugging, etc.).
+
+Owners implement the ``recv_*`` hooks by passing callbacks or by
+subclassing :class:`PortOwner`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from .packet import Packet
+
+
+class PortOwner(Protocol):  # pragma: no cover - structural typing only
+    def recv_timing_req(self, pkt: Packet) -> bool: ...
+    def recv_timing_resp(self, pkt: Packet) -> bool: ...
+    def recv_req_retry(self) -> None: ...
+    def recv_resp_retry(self) -> None: ...
+    def recv_functional(self, pkt: Packet) -> None: ...
+
+
+class _Port:
+    """Common binding logic for both port directions."""
+
+    def __init__(self, name: str, owner=None) -> None:
+        self.name = name
+        self.owner = owner
+        self.peer: Optional[_Port] = None
+
+    @property
+    def connected(self) -> bool:
+        return self.peer is not None
+
+    def _require_peer(self) -> "_Port":
+        if self.peer is None:
+            raise RuntimeError(f"port {self.name} is not connected")
+        return self.peer
+
+    def __repr__(self) -> str:  # pragma: no cover
+        peer = self.peer.name if self.peer else "unbound"
+        return f"<{type(self).__name__} {self.name} <-> {peer}>"
+
+
+class RequestPort(_Port):
+    """Sends requests downstream; receives responses and request-retries."""
+
+    def __init__(
+        self,
+        name: str,
+        owner=None,
+        recv_timing_resp: Optional[Callable[[Packet], bool]] = None,
+        recv_req_retry: Optional[Callable[[], None]] = None,
+    ) -> None:
+        super().__init__(name, owner)
+        self._recv_timing_resp = recv_timing_resp
+        self._recv_req_retry = recv_req_retry
+        self._waiting_retry = False
+
+    def connect(self, peer: "ResponsePort") -> None:
+        if not isinstance(peer, ResponsePort):
+            raise TypeError(
+                f"RequestPort {self.name} must connect to a ResponsePort, "
+                f"got {type(peer).__name__}"
+            )
+        if self.connected or peer.connected:
+            raise RuntimeError(f"port already connected: {self.name} or {peer.name}")
+        self.peer = peer
+        peer.peer = self
+
+    # requester-side API ----------------------------------------------------
+
+    def send_timing_req(self, pkt: Packet) -> bool:
+        peer = self._require_peer()
+        assert isinstance(peer, ResponsePort)
+        accepted = peer.handle_req(pkt)
+        if not accepted:
+            self._waiting_retry = True
+        return accepted
+
+    def send_functional(self, pkt: Packet) -> None:
+        peer = self._require_peer()
+        assert isinstance(peer, ResponsePort)
+        peer.handle_functional(pkt)
+
+    def send_retry_resp(self) -> None:
+        """Tell the responder a previously-rejected response may be resent."""
+        peer = self._require_peer()
+        assert isinstance(peer, ResponsePort)
+        peer.handle_resp_retry()
+
+    # called by the peer ------------------------------------------------------
+
+    def handle_resp(self, pkt: Packet) -> bool:
+        if self._recv_timing_resp is not None:
+            return self._recv_timing_resp(pkt)
+        if self.owner is not None:
+            return self.owner.recv_timing_resp(pkt)
+        raise RuntimeError(f"port {self.name} has no response handler")
+
+    def handle_req_retry(self) -> None:
+        self._waiting_retry = False
+        if self._recv_req_retry is not None:
+            self._recv_req_retry()
+        elif self.owner is not None:
+            self.owner.recv_req_retry()
+        else:
+            raise RuntimeError(f"port {self.name} has no retry handler")
+
+    @property
+    def waiting_retry(self) -> bool:
+        return self._waiting_retry
+
+
+class ResponsePort(_Port):
+    """Receives requests; sends responses upstream and request-retries."""
+
+    def __init__(
+        self,
+        name: str,
+        owner=None,
+        recv_timing_req: Optional[Callable[[Packet], bool]] = None,
+        recv_resp_retry: Optional[Callable[[], None]] = None,
+        recv_functional: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        super().__init__(name, owner)
+        self._recv_timing_req = recv_timing_req
+        self._recv_resp_retry = recv_resp_retry
+        self._recv_functional = recv_functional
+        self._resp_waiting_retry = False
+
+    def connect(self, peer: RequestPort) -> None:
+        peer.connect(self)
+
+    # responder-side API ------------------------------------------------------
+
+    def send_timing_resp(self, pkt: Packet) -> bool:
+        peer = self._require_peer()
+        assert isinstance(peer, RequestPort)
+        accepted = peer.handle_resp(pkt)
+        if not accepted:
+            self._resp_waiting_retry = True
+        return accepted
+
+    def send_retry_req(self) -> None:
+        """Tell the requester a previously-rejected request may be resent."""
+        peer = self._require_peer()
+        assert isinstance(peer, RequestPort)
+        peer.handle_req_retry()
+
+    # called by the peer -------------------------------------------------------
+
+    def handle_req(self, pkt: Packet) -> bool:
+        if self._recv_timing_req is not None:
+            return self._recv_timing_req(pkt)
+        if self.owner is not None:
+            return self.owner.recv_timing_req(pkt)
+        raise RuntimeError(f"port {self.name} has no request handler")
+
+    def handle_resp_retry(self) -> None:
+        self._resp_waiting_retry = False
+        if self._recv_resp_retry is not None:
+            self._recv_resp_retry()
+        elif self.owner is not None:
+            self.owner.recv_resp_retry()
+        else:
+            raise RuntimeError(f"port {self.name} has no resp-retry handler")
+
+    def handle_functional(self, pkt: Packet) -> None:
+        if self._recv_functional is not None:
+            self._recv_functional(pkt)
+        elif self.owner is not None:
+            self.owner.recv_functional(pkt)
+        else:
+            raise RuntimeError(f"port {self.name} has no functional handler")
+
+    @property
+    def resp_waiting_retry(self) -> bool:
+        return self._resp_waiting_retry
+
+
+class RequestPortWithRetry(RequestPort):
+    """RequestPort plus a one-deep retry buffer.
+
+    Many components want "send this packet; if rejected, resend on retry"
+    without writing the state machine each time.  ``try_send`` does that.
+    """
+
+    def __init__(self, name: str, owner=None, **kwargs) -> None:
+        super().__init__(name, owner, **kwargs)
+        self._blocked_pkt: Optional[Packet] = None
+        if self._recv_req_retry is None:
+            self._recv_req_retry = self._retry_blocked
+        self._after_unblock: Optional[Callable[[], None]] = None
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocked_pkt is not None
+
+    def try_send(self, pkt: Packet) -> bool:
+        """Send now or park the packet until the peer's retry. Returns
+        True iff the packet was accepted immediately."""
+        if self.blocked:
+            raise RuntimeError(
+                f"port {self.name} already has a parked packet; "
+                "caller must respect .blocked"
+            )
+        if self.send_timing_req(pkt):
+            return True
+        self._blocked_pkt = pkt
+        return False
+
+    def on_unblock(self, fn: Callable[[], None]) -> None:
+        """Register a callback invoked after a parked packet finally sends."""
+        self._after_unblock = fn
+
+    def _retry_blocked(self) -> None:
+        pkt = self._blocked_pkt
+        if pkt is None:
+            return
+        self._blocked_pkt = None
+        if not self.send_timing_req(pkt):
+            self._blocked_pkt = pkt
+            return
+        if self._after_unblock is not None:
+            self._after_unblock()

@@ -1,0 +1,173 @@
+"""Event-count power/energy estimation (the McPAT role).
+
+The paper's background (§2.1) notes that for gem5-style simulators,
+"obtaining accurate area and power estimations" relies on event-count
+models like McPAT.  This module is that companion: it reads the
+statistics the simulation already collects and applies per-event energy
+coefficients to produce a component-level energy/power breakdown.
+
+Coefficients are representative published per-event energies for a
+~22 nm-class SoC (order-of-magnitude engineering numbers, configurable);
+like McPAT the value is in *relative* comparisons — between design
+points of a DSE — not absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .event import TICKS_PER_SECOND
+
+
+@dataclass(frozen=True)
+class PowerCoefficients:
+    """Per-event energies in picojoules, plus static power in milliwatts."""
+
+    core_per_inst_pj: float = 70.0
+    core_per_cycle_pj: float = 8.0           # clock tree + misc dynamic
+    core_static_mw: float = 25.0
+    cache_per_hit_pj: float = 25.0
+    cache_per_miss_pj: float = 60.0          # tag miss + MSHR handling
+    llc_per_access_pj: float = 180.0
+    xbar_per_packet_pj: float = 30.0
+    dram_per_activate_pj: float = 1500.0
+    dram_per_byte_pj: float = 15.0
+    dram_static_mw_per_channel: float = 50.0
+    rtl_per_tick_per_kluts_pj: float = 10.0  # scaled by estimated area
+    rtl_default_kluts: float = 5.0
+
+
+@dataclass
+class ComponentEnergy:
+    name: str
+    dynamic_nj: float = 0.0
+    static_nj: float = 0.0
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.static_nj
+
+
+@dataclass
+class PowerReport:
+    sim_seconds: float
+    components: list[ComponentEnergy] = field(default_factory=list)
+
+    @property
+    def total_nj(self) -> float:
+        return sum(c.total_nj for c in self.components)
+
+    @property
+    def average_watts(self) -> float:
+        if self.sim_seconds <= 0:
+            return 0.0
+        return self.total_nj * 1e-9 / self.sim_seconds
+
+    def component(self, name: str) -> ComponentEnergy:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    def format_text(self) -> str:
+        lines = [
+            f"energy/power estimate over {self.sim_seconds * 1e3:.3f} ms "
+            "simulated",
+            f"{'component':<14}{'dynamic(nJ)':>14}{'static(nJ)':>13}"
+            f"{'share':>8}",
+        ]
+        total = max(self.total_nj, 1e-12)
+        for c in sorted(self.components, key=lambda c: -c.total_nj):
+            lines.append(
+                f"{c.name:<14}{c.dynamic_nj:>14.1f}{c.static_nj:>13.1f}"
+                f"{c.total_nj / total:>8.1%}"
+            )
+        lines.append(
+            f"total {self.total_nj:,.1f} nJ  ->  "
+            f"{self.average_watts:.3f} W average"
+        )
+        return "\n".join(lines)
+
+
+def estimate_power(
+    soc,
+    coeffs: PowerCoefficients | None = None,
+    rtl_kluts: dict[str, float] | None = None,
+) -> PowerReport:
+    """Estimate energy for a run of *soc* from its statistics.
+
+    ``rtl_kluts`` maps RTLObject names to estimated kLUTs (e.g. from
+    :func:`repro.rtl.synth.estimate_verilog`); unknown RTL objects use
+    the default coefficient.
+    """
+    k = coeffs or PowerCoefficients()
+    rtl_kluts = rtl_kluts or {}
+    seconds = soc.sim.now / TICKS_PER_SECOND
+    report = PowerReport(seconds)
+
+    # cores
+    cores = ComponentEnergy("cores")
+    for core in soc.cores:
+        cores.dynamic_nj += (
+            core.st_committed.value() * k.core_per_inst_pj
+            + core.st_cycles.value() * k.core_per_cycle_pj
+        ) / 1000.0
+        cores.static_nj += k.core_static_mw * 1e-3 * seconds * 1e9
+    report.components.append(cores)
+
+    # private caches
+    caches = ComponentEnergy("caches")
+    for cache in soc.l1is + soc.l1ds + soc.l2s:
+        caches.dynamic_nj += (
+            cache.st_hits.value() * k.cache_per_hit_pj
+            + cache.st_misses.value() * k.cache_per_miss_pj
+        ) / 1000.0
+    report.components.append(caches)
+
+    # shared LLC
+    if soc.llc is not None:
+        llc = ComponentEnergy("llc")
+        accesses = soc.llc.st_hits.value() + soc.llc.st_misses.value()
+        llc.dynamic_nj = accesses * k.llc_per_access_pj / 1000.0
+        report.components.append(llc)
+
+    # interconnect
+    xbar = ComponentEnergy("interconnect")
+    buses = {id(soc.membus): soc.membus, id(soc.sysbus): soc.sysbus}
+    for bus in buses.values():
+        xbar.dynamic_nj += (
+            (bus.st_reqs.value() + bus.st_resps.value())
+            * k.xbar_per_packet_pj / 1000.0
+        )
+    report.components.append(xbar)
+
+    # memory
+    mem = ComponentEnergy("memory")
+    ctrl = soc.mem_ctrl
+    if hasattr(ctrl, "st_row_conflicts"):  # DRAM controller
+        mem.dynamic_nj = (
+            ctrl.st_row_conflicts.value() * k.dram_per_activate_pj
+            + ctrl.st_bytes.value() * k.dram_per_byte_pj
+        ) / 1000.0
+        mem.static_nj = (
+            k.dram_static_mw_per_channel * ctrl.cfg.channels
+            * 1e-3 * seconds * 1e9
+        )
+    else:  # ideal memory: count transferred bytes only
+        mem.dynamic_nj = ctrl.st_bytes.value() * k.dram_per_byte_pj / 1000.0
+    report.components.append(mem)
+
+    # RTL models (the co-simulated hardware blocks)
+    from ..bridge.rtl_object import RTLObject
+
+    rtl = ComponentEnergy("rtl_models")
+    for obj in soc.sim.objects:
+        if isinstance(obj, RTLObject):
+            kluts = rtl_kluts.get(obj.name, k.rtl_default_kluts)
+            rtl.dynamic_nj += (
+                obj.st_ticks.value() * k.rtl_per_tick_per_kluts_pj * kluts
+            ) / 1000.0
+    if rtl.dynamic_nj:
+        report.components.append(rtl)
+
+    return report

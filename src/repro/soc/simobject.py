@@ -1,0 +1,139 @@
+"""SimObject base class and the Simulation container.
+
+The gem5 analogue of ``SimObject`` + ``Root`` + ``simulate()``.  A
+:class:`Simulation` owns the event queue, the root stat group, and the
+object hierarchy; :class:`SimObject` provides naming, clock domain access,
+stat registration and the two-phase ``init``/``startup`` protocol that
+components use to schedule their first events.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .event import ClockDomain, Event, EventPriority, EventQueue
+from .stats import StatGroup
+
+
+class Simulation:
+    """Top-level container: event queue + object tree + root stats."""
+
+    def __init__(self, name: str = "system") -> None:
+        self.name = name
+        self.eventq = EventQueue()
+        self.root_stats = StatGroup(name)
+        self.objects: list[SimObject] = []
+        self._started = False
+        self.default_clock = ClockDomain(2e9, "cpu_clk")
+
+    # -- object registry --------------------------------------------------
+
+    def register(self, obj: "SimObject") -> None:
+        self.objects.append(obj)
+
+    def find(self, path: str) -> "SimObject":
+        for obj in self.objects:
+            if obj.path() == path:
+                return obj
+        raise KeyError(path)
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.eventq.cur_tick
+
+    # -- run protocol -------------------------------------------------------
+
+    def startup(self) -> None:
+        """Run init() then startup() across the tree (idempotent)."""
+        if self._started:
+            return
+        for obj in self.objects:
+            obj.init()
+        for obj in self.objects:
+            obj.startup()
+        self._started = True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        self.startup()
+        return self.eventq.run(until=until, max_events=max_events)
+
+    def run_cycles(self, cycles: int, clock: Optional[ClockDomain] = None) -> int:
+        clk = clock or self.default_clock
+        return self.run(until=self.now + clk.cycles_to_ticks(cycles))
+
+    def stats_dump(self) -> dict:
+        return self.root_stats.dump()
+
+
+class SimObject:
+    """Base class for every simulated component.
+
+    Subclasses register statistics in ``__init__`` via ``self.stats`` and
+    schedule their initial events in :meth:`startup`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        parent: Optional["SimObject"] = None,
+        clock: Optional[ClockDomain] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.clock = clock or (parent.clock if parent else sim.default_clock)
+        parent_group = parent.stats if parent else sim.root_stats
+        self.stats = StatGroup(name, parent_group)
+        sim.register(self)
+
+    # -- naming ------------------------------------------------------------
+
+    def path(self) -> str:
+        parts = []
+        node: Optional[SimObject] = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.path()}>"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def init(self) -> None:
+        """Phase 1: structural checks after all connections are made."""
+
+    def startup(self) -> None:
+        """Phase 2: schedule initial events."""
+
+    # -- event helpers -------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        return self.sim.eventq.cur_tick
+
+    def cur_cycle(self) -> int:
+        return self.clock.ticks_to_cycles(self.now)
+
+    def schedule(
+        self, event: Event, when: int, priority: int = EventPriority.DEFAULT
+    ) -> Event:
+        return self.sim.eventq.schedule(event, when, priority)
+
+    def schedule_in(
+        self, event: Event, delta: int, priority: int = EventPriority.DEFAULT
+    ) -> Event:
+        return self.sim.eventq.schedule(event, self.now + delta, priority)
+
+    def schedule_cycles(
+        self, event: Event, cycles: int, priority: int = EventPriority.DEFAULT
+    ) -> Event:
+        """Schedule *cycles* clock edges from now (aligned to this clock)."""
+        edge = self.clock.next_edge(self.now)
+        return self.sim.eventq.schedule(
+            event, edge + self.clock.cycles_to_ticks(cycles), priority
+        )

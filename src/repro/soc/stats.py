@@ -1,0 +1,266 @@
+"""gem5-style statistics framework.
+
+Every :class:`~repro.soc.simobject.SimObject` owns a :class:`StatGroup`;
+stats register themselves with their group at construction.  The root
+group can be dumped to a flat ``{dotted.name: value}`` dict or rendered as
+an m5out-style ``stats.txt`` block, and supports *interval* dumps (dump and
+reset) — which is exactly what the paper's Fig. 5 does every 10 k cycles to
+compare PMU counters against gem5 statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Optional, Union
+
+Number = Union[int, float]
+
+
+class Stat:
+    """Base class for a named statistic."""
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        if not name or any(c.isspace() for c in name):
+            raise ValueError(f"invalid stat name {name!r}")
+        self.name = name
+        self.desc = desc
+
+    def value(self):
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def rows(self) -> Iterable[tuple[str, Number]]:
+        """(suffix, value) pairs for flat dumping; scalar stats yield one."""
+        yield "", self.value()
+
+
+class Scalar(Stat):
+    """A simple accumulating counter."""
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        super().__init__(name, desc)
+        self._value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self._value += amount
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __iadd__(self, amount: Number) -> "Scalar":
+        self.inc(amount)
+        return self
+
+
+class Vector(Stat):
+    """A fixed-length vector of counters (e.g. per-bank, per-port)."""
+
+    def __init__(self, name: str, size: int, desc: str = "") -> None:
+        super().__init__(name, desc)
+        if size <= 0:
+            raise ValueError("vector size must be positive")
+        self._values: list[Number] = [0] * size
+
+    def inc(self, index: int, amount: Number = 1) -> None:
+        self._values[index] += amount
+
+    def __getitem__(self, index: int) -> Number:
+        return self._values[index]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def value(self) -> list[Number]:
+        return list(self._values)
+
+    def total(self) -> Number:
+        return sum(self._values)
+
+    def reset(self) -> None:
+        for i in range(len(self._values)):
+            self._values[i] = 0
+
+    def rows(self) -> Iterable[tuple[str, Number]]:
+        for i, v in enumerate(self._values):
+            yield f"::{i}", v
+        yield "::total", self.total()
+
+
+class Distribution(Stat):
+    """A bucketed histogram over a closed integer range.
+
+    Out-of-range samples accumulate in underflow/overflow buckets, like
+    gem5's ``Stats::Distribution``.
+    """
+
+    def __init__(
+        self, name: str, lo: int, hi: int, bucket_size: int = 1, desc: str = ""
+    ) -> None:
+        super().__init__(name, desc)
+        if hi < lo or bucket_size <= 0:
+            raise ValueError("bad distribution parameters")
+        self.lo, self.hi, self.bucket_size = lo, hi, bucket_size
+        nbuckets = (hi - lo) // bucket_size + 1
+        self._buckets = [0] * nbuckets
+        self.underflow = 0
+        self.overflow = 0
+        self._count = 0
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self._min: Optional[Number] = None
+        self._max: Optional[Number] = None
+
+    def sample(self, value: Number, count: int = 1) -> None:
+        self._count += count
+        self._sum += value * count
+        self._sum_sq += value * value * count
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if value < self.lo:
+            self.underflow += count
+        elif value > self.hi:
+            self.overflow += count
+        else:
+            self._buckets[int((value - self.lo) // self.bucket_size)] += count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def stdev(self) -> float:
+        if self._count < 2:
+            return 0.0
+        var = (self._sum_sq - self._sum**2 / self._count) / (self._count - 1)
+        return math.sqrt(max(var, 0.0))
+
+    def value(self) -> dict:
+        return {
+            "count": self._count,
+            "mean": self.mean(),
+            "stdev": self.stdev(),
+            "min": self._min,
+            "max": self._max,
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "buckets": list(self._buckets),
+        }
+
+    def reset(self) -> None:
+        self._buckets = [0] * len(self._buckets)
+        self.underflow = self.overflow = 0
+        self._count = 0
+        self._sum = self._sum_sq = 0.0
+        self._min = self._max = None
+
+    def rows(self) -> Iterable[tuple[str, Number]]:
+        yield "::count", self._count
+        yield "::mean", self.mean()
+        yield "::stdev", self.stdev()
+
+
+class Formula(Stat):
+    """A derived statistic evaluated lazily from other stats.
+
+    >>> ipc = Formula("ipc", lambda: committed.value() / max(cycles.value(), 1))
+    """
+
+    def __init__(self, name: str, fn: Callable[[], Number], desc: str = "") -> None:
+        super().__init__(name, desc)
+        self._fn = fn
+
+    def value(self) -> Number:
+        return self._fn()
+
+    def reset(self) -> None:  # formulas have no state of their own
+        pass
+
+
+class StatGroup:
+    """A named collection of stats, arranged in a tree mirroring SimObjects."""
+
+    def __init__(self, name: str, parent: Optional["StatGroup"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: dict[str, StatGroup] = {}
+        self.stats: dict[str, Stat] = {}
+        if parent is not None:
+            if name in parent.children:
+                raise ValueError(f"duplicate stat group {name!r} under {parent.name!r}")
+            parent.children[name] = self
+
+    # -- registration ----------------------------------------------------
+
+    def add(self, stat: Stat) -> Stat:
+        if stat.name in self.stats:
+            raise ValueError(f"duplicate stat {stat.name!r} in group {self.name!r}")
+        self.stats[stat.name] = stat
+        return stat
+
+    def scalar(self, name: str, desc: str = "") -> Scalar:
+        return self.add(Scalar(name, desc))  # type: ignore[return-value]
+
+    def vector(self, name: str, size: int, desc: str = "") -> Vector:
+        return self.add(Vector(name, size, desc))  # type: ignore[return-value]
+
+    def distribution(
+        self, name: str, lo: int, hi: int, bucket_size: int = 1, desc: str = ""
+    ) -> Distribution:
+        return self.add(Distribution(name, lo, hi, bucket_size, desc))  # type: ignore[return-value]
+
+    def formula(self, name: str, fn: Callable[[], Number], desc: str = "") -> Formula:
+        return self.add(Formula(name, fn, desc))  # type: ignore[return-value]
+
+    # -- dumping ---------------------------------------------------------
+
+    def path(self) -> str:
+        parts = []
+        node: Optional[StatGroup] = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts))
+
+    def dump(self, prefix: str = "") -> dict[str, Number]:
+        """Flatten this subtree into ``{dotted.name: value}``."""
+        base = f"{prefix}{self.name}" if self.name else prefix.rstrip(".")
+        out: dict[str, Number] = {}
+        for stat in self.stats.values():
+            for suffix, v in stat.rows():
+                out[f"{base}.{stat.name}{suffix}"] = v
+        for child in self.children.values():
+            out.update(child.dump(prefix=f"{base}."))
+        return out
+
+    def reset(self) -> None:
+        for stat in self.stats.values():
+            stat.reset()
+        for child in self.children.values():
+            child.reset()
+
+    def dump_and_reset(self) -> dict[str, Number]:
+        """Interval dump, as used for periodic stat windows (Fig. 5)."""
+        out = self.dump()
+        self.reset()
+        return out
+
+    def format_text(self) -> str:
+        """Render an m5out-style stats.txt block."""
+        lines = ["---------- Begin Simulation Statistics ----------"]
+        for key, value in sorted(self.dump().items()):
+            if isinstance(value, float):
+                lines.append(f"{key:<60} {value:.6f}")
+            else:
+                lines.append(f"{key:<60} {value}")
+        lines.append("---------- End Simulation Statistics   ----------")
+        return "\n".join(lines)

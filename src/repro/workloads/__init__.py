@@ -1,0 +1,19 @@
+"""Workload generators: µop streams for the host cores."""
+
+from .sorting import (
+    BranchPredictor,
+    bubblesort_uops,
+    make_array,
+    quicksort_uops,
+    selectionsort_uops,
+    sort_benchmark,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "bubblesort_uops",
+    "make_array",
+    "quicksort_uops",
+    "selectionsort_uops",
+    "sort_benchmark",
+]

@@ -1,0 +1,93 @@
+"""Struct exchange: layout, packing, masking, arrays."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bridge.structs import Field, StructSpec
+
+
+class TestField:
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            Field("f", 0)
+        with pytest.raises(ValueError):
+            Field("f", 65)
+
+    def test_nbytes(self):
+        assert Field("f", 1).nbytes == 1
+        assert Field("f", 12).nbytes == 2
+        assert Field("f", 32).nbytes == 4
+        assert Field("f", 8, count=3).nbytes == 3
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            Field("f", 8, count=0)
+
+
+class TestStructSpec:
+    def test_size_is_sum_of_fields(self):
+        spec = StructSpec("s", [Field("a", 1), Field("b", 32), Field("c", 12)])
+        assert spec.size == 1 + 4 + 2
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError):
+            StructSpec("s", [Field("a", 1), Field("a", 2)])
+
+    def test_pack_unpack_roundtrip(self):
+        spec = StructSpec("s", [Field("a", 4), Field("b", 16)])
+        data = spec.pack(a=0x9, b=0xBEEF)
+        assert spec.unpack(data) == {"a": 9, "b": 0xBEEF}
+
+    def test_unspecified_fields_zero(self):
+        spec = StructSpec("s", [Field("a", 8), Field("b", 8)])
+        assert spec.unpack(spec.pack(b=7)) == {"a": 0, "b": 7}
+
+    def test_values_masked_to_width(self):
+        spec = StructSpec("s", [Field("a", 4)])
+        assert spec.unpack(spec.pack(a=0xFF))["a"] == 0xF
+
+    def test_unknown_field_rejected(self):
+        spec = StructSpec("s", [Field("a", 8)])
+        with pytest.raises(KeyError):
+            spec.pack(nope=1)
+
+    def test_array_fields(self):
+        spec = StructSpec("s", [Field("v", 16, count=3)])
+        data = spec.pack(v=[1, 2, 70000])
+        assert spec.unpack(data)["v"] == [1, 2, 70000 & 0xFFFF]
+
+    def test_array_length_checked(self):
+        spec = StructSpec("s", [Field("v", 8, count=2)])
+        with pytest.raises(ValueError):
+            spec.pack(v=[1, 2, 3])
+
+    def test_unpack_length_checked(self):
+        spec = StructSpec("s", [Field("a", 8)])
+        with pytest.raises(ValueError):
+            spec.unpack(b"\0\0")
+
+    def test_zeros(self):
+        spec = StructSpec("s", [Field("a", 8), Field("b", 32)])
+        assert spec.unpack(spec.zeros()) == {"a": 0, "b": 0}
+
+    def test_contains_and_iter(self):
+        spec = StructSpec("s", [Field("a", 8)])
+        assert "a" in spec and "b" not in spec
+        assert [f.name for f in spec] == ["a"]
+
+    def test_byte_layout_is_little_endian_per_field(self):
+        spec = StructSpec("s", [Field("a", 16), Field("b", 8)])
+        assert spec.pack(a=0x1234, b=0x56) == b"\x34\x12\x56"
+
+
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 12) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 48) - 1),
+    v=st.lists(st.integers(min_value=0, max_value=255), min_size=4, max_size=4),
+)
+def test_property_roundtrip(a, b, v):
+    spec = StructSpec(
+        "s", [Field("a", 12), Field("b", 48), Field("v", 8, count=4)]
+    )
+    out = spec.unpack(spec.pack(a=a, b=b, v=v))
+    assert out == {"a": a, "b": b, "v": v}

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.soc.simobject import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    return Simulation()
+
+
+@pytest.fixture
+def small_soc():
+    """A 1-core SoC with a small DDR4 memory — cheap to build and run."""
+    from repro.soc.system import SoC, SoCConfig
+
+    return SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))

@@ -1,0 +1,103 @@
+"""Experiment harness: tiny-configuration runs of every paper experiment
+(the full-size regenerations live in benchmarks/)."""
+
+import pytest
+
+from repro.dse import (
+    render_dse,
+    render_fig5,
+    render_table2,
+    render_table3,
+    run_dse,
+    run_fig5,
+    run_standalone,
+)
+from repro.dse.pmu_experiment import Table2Row, run_table2
+from repro.dse.sweep import measure_exec_ticks
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(n_sort=60, interval_cycles=4000, sleep_cycles=8000)
+
+    def test_produces_windows(self, result):
+        assert len(result.windows) >= 5
+
+    def test_pmu_and_gem5_ipc_agree_in_steady_windows(self, result):
+        errs = [
+            abs(w.pmu_ipc - w.gem5_ipc)
+            for w in result.windows
+            if w.gem5_commits > 500
+        ]
+        assert errs, "no steady windows sampled"
+        errs.sort()
+        assert errs[len(errs) // 2] < 0.05
+
+    def test_sleep_phases_visible_as_zero_ipc(self, result):
+        assert any(w.gem5_ipc < 0.01 for w in result.windows)
+
+    def test_lost_events_small_but_nonzero(self, result):
+        # the PMU misses a few events (enable latency, clear windows) —
+        # the exact interaction the paper quantifies with gem5+rtl
+        assert 0 <= result.lost_events() < 0.05 * result.total_committed
+
+    def test_render(self, result):
+        text = render_fig5(result, max_rows=5)
+        assert "PMU IPC" in text and "gem5 IPC" in text
+
+
+class TestDSE:
+    def test_tiny_sweep_shapes(self):
+        result = run_dse(
+            "sanity3", 1, inflight_sweep=(1, 64), memories=("DDR4-1ch", "HBM"),
+            scale=0.15,
+        )
+        hbm = result.normalized["HBM"]
+        ddr = result.normalized["DDR4-1ch"]
+        # more in-flight always helps; HBM >= DDR4-1ch
+        assert hbm[64] > hbm[1]
+        assert hbm[64] > ddr[64]
+        assert 0 < hbm[64] <= 1.05
+
+    def test_render(self):
+        result = run_dse("googlenet", 1, inflight_sweep=(4,),
+                         memories=("HBM",), scale=0.1)
+        text = render_dse(result, inflight_sweep=(4,))
+        assert "Fig. 6" in text and "HBM" in text
+
+    def test_measure_returns_positive_ticks(self):
+        ticks = measure_exec_ticks("sanity3", 1, "ideal", 64, scale=0.1)
+        assert ticks > 0
+
+
+class TestTable3:
+    def test_standalone_runs(self):
+        elapsed = run_standalone("sanity3", scale=0.1)
+        assert elapsed > 0
+
+    def test_render(self):
+        from repro.dse.sweep import Table3Result
+
+        rows = [Table3Result("sanity3", 1.0, 2.5, 3.0)]
+        text = render_table3(rows)
+        assert "2.50" in text and "3.00" in text
+        assert rows[0].perfect_overhead == 2.5
+        assert rows[0].ddr4_overhead == 3.0
+
+
+class TestTable2:
+    def test_tiny_overhead_run(self):
+        rows = run_table2(sizes=(25,))
+        assert len(rows) == 1
+        row = rows[0]
+        # adding the PMU cannot speed the simulation up (allow noise)
+        assert row.pmu_overhead > 0.8
+        # waveform tracing costs more than the bare PMU
+        assert row.t_gem5_pmu_waveform > row.t_gem5_pmu * 0.9
+
+    def test_render(self):
+        rows = [Table2Row(100, 1.0, 1.2, 4.0)]
+        text = render_table2(rows)
+        assert "gem5+PMU" in text and "waveform" in text
+        assert "1.20" in text and "4.00" in text

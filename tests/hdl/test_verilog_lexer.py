@@ -1,0 +1,75 @@
+"""Verilog lexer: tokens, literals, comments, errors."""
+
+import pytest
+
+from repro.hdl.common import LexError, Loc
+from repro.hdl.verilog.lexer import parse_based_literal, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "EOF"]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        toks = kinds("module foo endmodule")
+        assert toks == [("KW", "module"), ("ID", "foo"), ("KW", "endmodule")]
+
+    def test_multichar_operators_longest_match(self):
+        toks = kinds("a <= b >> 2")
+        assert ("OP", "<=") in toks and ("OP", ">>") in toks
+
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [("ID", "a"), ("ID", "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [("ID", "a"), ("ID", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* forever")
+
+    def test_directive_line_skipped(self):
+        assert kinds("`timescale 1ns/1ps\nwire") == [("KW", "wire")]
+
+    def test_line_numbers_tracked(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.col == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a £ b")
+
+    def test_dollar_identifiers(self):
+        assert kinds("$display")[0] == ("ID", "$display")
+
+
+class TestLiterals:
+    def test_plain_decimal(self):
+        assert kinds("42") == [("NUMBER", "42")]
+
+    def test_underscore_decimal(self):
+        assert kinds("1_000")[0][0] == "NUMBER"
+
+    def test_based_forms(self):
+        loc = Loc(1, 1)
+        assert parse_based_literal("8'hFF", loc) == (8, 255)
+        assert parse_based_literal("4'd9", loc) == (4, 9)
+        assert parse_based_literal("'b0101", loc) == (None, 5)
+        assert parse_based_literal("12'o777", loc) == (12, 0o777)
+        assert parse_based_literal("8'sd5", loc) == (8, 5)
+
+    def test_based_value_truncated_to_width(self):
+        assert parse_based_literal("4'hFF", Loc(1, 1)) == (4, 0xF)
+
+    def test_underscores_in_based(self):
+        assert parse_based_literal("32'hDEAD_BEEF", Loc(1, 1)) == (32, 0xDEADBEEF)
+
+    def test_malformed_based_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("8'q12")
+        with pytest.raises(LexError):
+            parse_based_literal("8'h", Loc(1, 1))
+        with pytest.raises(LexError):
+            parse_based_literal("8'b102", Loc(1, 1))

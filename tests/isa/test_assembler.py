@@ -1,0 +1,154 @@
+"""Assembler: directives, labels, pseudo-expansion, errors."""
+
+import pytest
+
+from repro.isa import AsmError, assemble
+from repro.isa.insts import I_OPS, JAL_OP, LUI_OP, WORD, decode
+
+
+def words_of(program):
+    return [decode(program.words[a]) for a in sorted(program.words)]
+
+
+class TestBasics:
+    def test_simple_program(self):
+        p = assemble("main:\n  addi t0, zero, 5\n  halt\n")
+        insts = words_of(p)
+        assert insts[0].name == "addi" and insts[0].imm == 5
+        assert insts[1].name == "halt"
+        assert p.entry == 0
+
+    def test_labels_resolve_forward_and_backward(self):
+        p = assemble("""
+        start:
+            j skip
+            nop
+        skip:
+            j start
+            halt
+        """)
+        insts = words_of(p)
+        assert insts[0].name == "jal" and insts[0].imm == 2  # word index
+        assert insts[2].name == "jal" and insts[2].imm == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError, match="duplicate"):
+            assemble("a:\n nop\na:\n nop\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AsmError, match="undefined"):
+            assemble("j nowhere\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError, match="unknown mnemonic"):
+            assemble("frobnicate t0\n")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AsmError, match="expects"):
+            assemble("add t0, t1\n")
+
+    def test_comments_and_blank_lines(self):
+        p = assemble("""
+        # a comment
+        main:              ; trailing style
+            nop            # inline
+        """)
+        assert len(p.words) == 1
+
+
+class TestDirectives:
+    def test_org_places_code(self):
+        p = assemble(".org 0x100\nmain: halt\n")
+        assert 0x100 in p.words
+        assert p.symbols["main"] == 0x100
+
+    def test_word_data(self):
+        p = assemble(".org 0x200\ntbl: .word 1, 2, 0xFF\n")
+        assert [p.words[0x200 + 4 * i] for i in range(3)] == [1, 2, 0xFF]
+
+    def test_word_with_label_value(self):
+        p = assemble("""
+        main: halt
+        .org 0x40
+        ptr: .word main
+        """)
+        assert p.words[0x40] == p.symbols["main"]
+
+    def test_space_reserves_zeroed(self):
+        p = assemble(".org 0x80\nbuf: .space 12\n")
+        assert [p.words[0x80 + 4 * i] for i in range(3)] == [0, 0, 0]
+
+    def test_unknown_directive(self):
+        with pytest.raises(AsmError, match="directive"):
+            assemble(".banana 3\n")
+
+    def test_segments_coalesce(self):
+        p = assemble("a: .word 1, 2\n.org 0x100\nb: .word 3\n")
+        segs = p.to_segments()
+        assert len(segs) == 2
+        assert segs[0] == (0, (1).to_bytes(4, "little") + (2).to_bytes(4, "little"))
+
+
+class TestPseudos:
+    def test_li_expands_to_two_instructions(self):
+        p = assemble("main: li a0, 0xDEADBEEF\nhalt\n")
+        insts = words_of(p)
+        assert insts[0].opcode == LUI_OP
+        assert insts[1].opcode == I_OPS["ori"]
+        assert len(insts) == 3
+
+    def test_li_size_stable_across_passes(self):
+        # label after li must account for the 2-word expansion
+        p = assemble("""
+        main:
+            li a0, 0x12345678
+            j after
+        after:
+            halt
+        """)
+        assert p.symbols["after"] == 3 * WORD
+
+    def test_mv_nop_ret(self):
+        p = assemble("main:\n mv a0, a1\n nop\n ret\n")
+        insts = words_of(p)
+        assert insts[0].name == "addi" and insts[0].imm == 0
+        assert insts[1].name == "addi" and insts[1].rd == 0
+        assert insts[2].name == "jalr"
+
+    def test_ble_bgt_swap_operands(self):
+        from repro.isa.insts import reg_number
+
+        p = assemble("main:\nloop: ble t0, t1, loop\n bgt t0, t1, loop\n")
+        insts = words_of(p)
+        t0, t1 = reg_number("t0"), reg_number("t1")
+        # ble a,b == bge b,a ; bgt a,b == blt b,a
+        assert insts[0].name == "bge"
+        assert (insts[0].rs1, insts[0].rs2) == (t1, t0)
+        assert insts[1].name == "blt"
+        assert (insts[1].rs1, insts[1].rs2) == (t1, t0)
+
+    def test_not_neg(self):
+        p = assemble("main:\n not t0, t1\n neg t2, t3\n")
+        insts = words_of(p)
+        assert insts[0].name == "xori" and insts[0].imm == -1
+        assert insts[1].name == "sub" and insts[1].rs1 == 0
+
+
+class TestImmediates:
+    def test_out_of_range_immediate_rejected(self):
+        with pytest.raises(AsmError, match="out of range"):
+            assemble("main: addi t0, zero, 20000\n")
+
+    def test_hex_and_negative(self):
+        p = assemble("main: addi t0, zero, -0x10\n")
+        assert words_of(p)[0].imm == -16
+
+    def test_memory_operand_syntax(self):
+        p = assemble("main: lw t0, -8(sp)\n sw t0, 12(sp)\n")
+        insts = words_of(p)
+        assert insts[0].name == "lw" and insts[0].imm == -8
+        assert insts[1].name == "sw" and insts[1].imm == 12
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AsmError, match="imm\\(reg\\)"):
+            assemble("main: lw t0, t1\n")

@@ -1,0 +1,93 @@
+"""Instruction encode/decode and register naming."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.insts import (
+    BRANCH_OPS,
+    HALT_OP,
+    I_OPS,
+    IMM_MAX,
+    IMM_MIN,
+    Inst,
+    JAL_OP,
+    LOAD_OP,
+    LUI_OP,
+    R_OPS,
+    STORE_OP,
+    decode,
+    encode,
+    reg_number,
+)
+
+
+class TestRegisters:
+    def test_numeric_names(self):
+        assert reg_number("x0") == 0
+        assert reg_number("x31") == 31
+
+    def test_abi_aliases(self):
+        assert reg_number("zero") == 0
+        assert reg_number("ra") == 1
+        assert reg_number("sp") == 2
+        assert reg_number("a0") == 12
+        assert reg_number("t0") == 5
+
+    def test_case_insensitive(self):
+        assert reg_number("A0") == reg_number("a0")
+
+    def test_invalid_rejected(self):
+        for bad in ("x32", "q7", "", "x-1"):
+            with pytest.raises(ValueError):
+                reg_number(bad)
+
+
+class TestEncodeDecode:
+    def test_r_type_roundtrip(self):
+        for name, op in R_OPS.items():
+            inst = Inst(op, rd=3, rs1=17, rs2=31)
+            assert decode(encode(inst)) == inst
+
+    def test_i_type_roundtrip(self):
+        for name, op in I_OPS.items():
+            for imm in (0, 1, -1, IMM_MAX, IMM_MIN):
+                inst = Inst(op, rd=5, rs1=6, imm=imm)
+                assert decode(encode(inst)) == inst
+
+    def test_memory_ops_roundtrip(self):
+        lw = Inst(LOAD_OP, rd=7, rs1=12, imm=-64)
+        sw = Inst(STORE_OP, rs1=12, rs2=7, imm=124)
+        assert decode(encode(lw)) == lw
+        assert decode(encode(sw)) == sw
+
+    def test_branch_roundtrip(self):
+        for op in BRANCH_OPS.values():
+            inst = Inst(op, rs1=1, rs2=2, imm=-100)
+            assert decode(encode(inst)) == inst
+
+    def test_lui_20bit_imm(self):
+        inst = Inst(LUI_OP, rd=9, imm=0xFFFFF)
+        assert decode(encode(inst)) == inst
+
+    def test_halt(self):
+        assert decode(encode(Inst(HALT_OP))).opcode == HALT_OP
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            decode(0x7C)
+
+    def test_words_fit_32_bits(self):
+        worst = Inst(JAL_OP, rd=31, imm=IMM_MIN)
+        assert 0 <= encode(worst) < (1 << 32)
+
+    @given(
+        op=st.sampled_from(sorted(I_OPS.values())),
+        rd=st.integers(min_value=0, max_value=31),
+        rs1=st.integers(min_value=0, max_value=31),
+        imm=st.integers(min_value=IMM_MIN, max_value=IMM_MAX),
+    )
+    def test_property_itype_roundtrip(self, op, rd, rs1, imm):
+        inst = Inst(op, rd=rd, rs1=rs1, imm=imm)
+        word = encode(inst)
+        assert 0 <= word < (1 << 32)
+        assert decode(word) == inst

@@ -1,0 +1,300 @@
+"""Interpreter: semantics, µop lowering, programs, timing-core runs."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import ISAError, assemble, run_program
+from repro.isa.programs import bubble_sort, memcpy, sleep_demo, vector_sum
+from repro.soc.cpu import uop as U
+from repro.soc.mem import PhysicalMemory
+
+
+def run_src(src: str, mem=None):
+    mem = mem or PhysicalMemory()
+    thread = run_program("main:\n" + src + "\n halt\n", mem)
+    thread.run()
+    return thread, mem
+
+
+class TestALUSemantics:
+    def test_arith(self):
+        t, _ = run_src("""
+            addi t0, zero, 7
+            addi t1, zero, 3
+            add  t2, t0, t1
+            sub  t3, t0, t1
+            mul  t4, t0, t1
+        """)
+        r = t.regs
+        from repro.isa.insts import reg_number as R
+
+        assert r[R("t2")] == 10 and r[R("t3")] == 4 and r[R("t4")] == 21
+
+    def test_wraparound_32bit(self):
+        t, _ = run_src("""
+            li   t0, 0xFFFFFFFF
+            addi t0, t0, 1
+        """)
+        from repro.isa.insts import reg_number as R
+
+        assert t.regs[R("t0")] == 0
+
+    def test_logic_and_shifts(self):
+        t, _ = run_src("""
+            li   t0, 0xF0F0
+            andi t1, t0, 0xF0
+            ori  t2, t0, 0x0F
+            slli t3, t0, 4
+            srli t4, t0, 4
+        """)
+        from repro.isa.insts import reg_number as R
+
+        r = t.regs
+        assert r[R("t1")] == 0xF0
+        assert r[R("t2")] == 0xF0FF
+        assert r[R("t3")] == 0xF0F00
+        assert r[R("t4")] == 0xF0F
+
+    def test_signed_compare_and_sra(self):
+        t, _ = run_src("""
+            addi t0, zero, -8
+            addi t1, zero, 3
+            slt  t2, t0, t1
+            sltu t3, t0, t1
+            sra  t4, t0, t1
+        """)
+        from repro.isa.insts import reg_number as R
+
+        r = t.regs
+        assert r[R("t2")] == 1          # -8 < 3 signed
+        assert r[R("t3")] == 0          # huge unsigned
+        assert r[R("t4")] == (-1) & 0xFFFFFFFF  # arithmetic shift
+
+    def test_x0_hardwired_zero(self):
+        t, _ = run_src("addi zero, zero, 42\n add t0, zero, zero")
+        assert t.regs[0] == 0
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        t, _ = run_src("""
+            addi t0, zero, 0
+            addi t1, zero, 10
+        loop:
+            addi t0, t0, 1
+            blt  t0, t1, loop
+        """)
+        from repro.isa.insts import reg_number as R
+
+        assert t.regs[R("t0")] == 10
+
+    def test_call_and_return(self):
+        t, _ = run_src("""
+            jal  func
+            j    end
+        func:
+            addi a0, zero, 99
+            ret
+        end:
+            nop
+        """)
+        from repro.isa.insts import reg_number as R
+
+        assert t.regs[R("a0")] == 99
+
+    def test_runaway_detection(self):
+        mem = PhysicalMemory()
+        thread = run_program("main: j main\n", mem, max_instructions=1000)
+        with pytest.raises(ISAError, match="limit"):
+            thread.run()
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        t, mem = run_src("""
+            li  a0, 0x1000
+            li  t0, 0xCAFE
+            sw  t0, 0(a0)
+            lw  t1, 0(a0)
+            sw  t1, 8(a0)
+        """)
+        assert mem.read_word(0x1000, 4) == 0xCAFE
+        assert mem.read_word(0x1008, 4) == 0xCAFE
+
+    def test_data_directives_visible(self):
+        mem = PhysicalMemory()
+        thread = run_program("""
+        main:
+            li  a0, 0x2000
+            lw  t0, 0(a0)
+            addi t0, t0, 1
+            sw  t0, 4(a0)
+            halt
+        .org 0x2000
+        data: .word 41
+        """, mem)
+        thread.run()
+        assert mem.read_word(0x2004, 4) == 42
+
+
+class TestUopLowering:
+    def test_kinds_match_instructions(self):
+        mem = PhysicalMemory()
+        thread = run_program("""
+        main:
+            addi t0, zero, 1
+            lw   t1, 0(zero)
+            sw   t1, 8(zero)
+            beq  t0, zero, main
+            halt
+        """, mem)
+        kinds = [u[0] for u in thread.uops()]
+        # a cold FETCH precedes the first instruction of each i-line
+        assert kinds == [U.FETCH, U.ALU, U.LOAD, U.STORE, U.BRANCH]
+
+    def test_load_uop_carries_effective_address(self):
+        mem = PhysicalMemory()
+        thread = run_program("""
+        main:
+            li  a0, 0x3000
+            lw  t0, 16(a0)
+            halt
+        """, mem)
+        uops = list(thread.uops())
+        loads = [u for u in uops if u[0] == U.LOAD]
+        assert loads == [(U.LOAD, 0x3010)]
+
+    def test_sleep_instruction_yields_sleep_uop(self):
+        mem = PhysicalMemory()
+        thread = run_program("""
+        main:
+            li    t0, 1234
+            sleep t0
+            halt
+        """, mem)
+        uops = list(thread.uops())
+        assert (U.SLEEP, 1234) in uops
+
+    def test_branch_predictor_learns(self):
+        mem = PhysicalMemory()
+        thread = run_program("""
+        main:
+            addi t0, zero, 0
+            addi t1, zero, 50
+        loop:
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            halt
+        """, mem)
+        uops = list(thread.uops())
+        miss = sum(arg for kind, arg in uops if kind == U.BRANCH)
+        assert miss <= 5  # a monotone loop branch becomes predictable
+
+
+class TestPrograms:
+    def test_bubble_sort_sorts(self):
+        mem = PhysicalMemory()
+        rng = random.Random(3)
+        vals = [rng.randrange(0, 1 << 30) for _ in range(48)]
+        for i, v in enumerate(vals):
+            mem.write_word(0x10_0000 + 4 * i, v, 4)
+        run_program(bubble_sort(n=48), mem).run()
+        got = [mem.read_word(0x10_0000 + 4 * i, 4) for i in range(48)]
+        assert got == sorted(vals)
+
+    def test_memcpy_copies(self):
+        mem = PhysicalMemory()
+        mem.write(0x10_0000, bytes(range(128)))
+        run_program(memcpy(n=128), mem).run()
+        assert mem.read(0x20_0000, 128) == bytes(range(128))
+
+    def test_vector_sum(self):
+        mem = PhysicalMemory()
+        for i in range(32):
+            mem.write_word(0x10_0000 + 4 * i, i * 3, 4)
+        run_program(vector_sum(n=32), mem).run()
+        assert mem.read_word(0x30_0000, 4) == sum(i * 3 for i in range(32))
+
+    def test_sleep_demo_has_three_phases(self):
+        mem = PhysicalMemory()
+        thread = run_program(sleep_demo(cycles=500), mem)
+        uops = list(thread.uops())
+        sleeps = [u for u in uops if u[0] == U.SLEEP]
+        assert sleeps == [(U.SLEEP, 500)] * 2
+
+
+class TestOnTimingCore:
+    def test_program_runs_on_soc(self, small_soc):
+        soc = small_soc
+        rng = random.Random(5)
+        vals = [rng.randrange(0, 1 << 20) for _ in range(32)]
+        for i, v in enumerate(vals):
+            soc.physmem.write_word(0x10_0000 + 4 * i, v, 4)
+        thread = run_program(bubble_sort(n=32), soc.physmem)
+        soc.cores[0].run_stream(thread.uops())
+        soc.run_until_done()
+        got = [soc.physmem.read_word(0x10_0000 + 4 * i, 4) for i in range(32)]
+        assert got == sorted(vals)
+        assert soc.cores[0].st_committed.value() == thread.retired - 1
+        assert 0.3 < soc.cores[0].ipc() < 4.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=(1 << 31) - 1),
+                min_size=2, max_size=24))
+def test_property_assembly_sort_matches_python_sort(values):
+    mem = PhysicalMemory()
+    for i, v in enumerate(values):
+        mem.write_word(0x10_0000 + 4 * i, v, 4)
+    run_program(bubble_sort(n=len(values)), mem).run()
+    got = [mem.read_word(0x10_0000 + 4 * i, 4) for i in range(len(values))]
+    assert got == sorted(values)
+
+
+class TestInstructionFetch:
+    def test_cold_fetch_per_line(self):
+        from repro.soc.mem import PhysicalMemory
+
+        mem = PhysicalMemory()
+        # 40 instructions ~ 160 bytes ~ 3 i-lines
+        body = "\n".join("    addi t0, t0, 1" for _ in range(40))
+        thread = run_program(f"main:\n{body}\n    halt\n", mem)
+        uops = list(thread.uops())
+        fetches = [u for u in uops if u[0] == U.FETCH]
+        assert len(fetches) == 3
+        # fetch addresses are line-aligned and distinct
+        addrs = [a for _, a in fetches]
+        assert all(a % 64 == 0 for a in addrs)
+        assert len(set(addrs)) == 3
+
+    def test_loop_fetches_each_line_once(self):
+        from repro.soc.mem import PhysicalMemory
+
+        mem = PhysicalMemory()
+        thread = run_program("""
+        main:
+            addi t0, zero, 0
+            addi t1, zero, 50
+        loop:
+            addi t0, t0, 1
+            blt  t0, t1, loop
+            halt
+        """, mem)
+        uops = list(thread.uops())
+        fetches = sum(1 for u in uops if u[0] == U.FETCH)
+        assert fetches == 1  # whole program fits one line, fetched once
+
+    def test_l1i_sees_fetches_on_soc(self, small_soc):
+        from repro.isa.programs import vector_sum
+
+        soc = small_soc
+        for i in range(64):
+            soc.physmem.write_word(0x10_0000 + 4 * i, i, 4)
+        thread = run_program(vector_sum(n=64), soc.physmem)
+        soc.cores[0].run_stream(thread.uops())
+        soc.run_until_done()
+        assert soc.physmem.read_word(0x30_0000, 4) == sum(range(64))
+        assert soc.cores[0].st_fetches.value() >= 1
+        assert soc.l1is[0].st_misses.value() >= 1

@@ -1,0 +1,55 @@
+"""NVDLA host application unit behaviour (trace load, CSB playback)."""
+
+import pytest
+
+from repro.dse.nvdla_system import build_nvdla_system
+from repro.models.nvdla.host import TRACE_CMD_BASE, NVDLAHostApp
+from repro.models.nvdla.trace import MAGIC
+
+
+class TestLoadPhase:
+    def test_command_stream_lands_in_memory(self):
+        system = build_nvdla_system("sanity3", 1, "ideal", scale=0.1)
+        system.run_to_completion()
+        word = system.soc.physmem.read_word(TRACE_CMD_BASE, 4)
+        assert word == MAGIC
+
+    def test_image_lands_in_memory(self):
+        system = build_nvdla_system("sanity3", 1, "ideal", scale=0.1)
+        system.run_to_completion()
+        trace = system.hosts[0].trace
+        addr, data = trace.mem_image[0]
+        assert system.soc.physmem.read(addr, 32) == data[:32]
+
+    def test_instances_use_distinct_command_regions(self):
+        system = build_nvdla_system("sanity3", 2, "ideal", scale=0.1)
+        system.run_to_completion()
+        for i in range(2):
+            base = TRACE_CMD_BASE + i * 0x10_0000
+            assert system.soc.physmem.read_word(base, 4) == MAGIC
+
+
+class TestLifecycle:
+    def test_results_unavailable_before_completion(self):
+        system = build_nvdla_system("sanity3", 1, "ideal", scale=0.1)
+        host = system.hosts[0]
+        with pytest.raises(RuntimeError):
+            host.exec_ticks()
+        with pytest.raises(RuntimeError):
+            host.total_ticks()
+
+    def test_doorbell_after_load(self):
+        system = build_nvdla_system("sanity3", 1, "ideal", scale=0.1,
+                                    timed_load=True)
+        system.run_to_completion()
+        host = system.hosts[0]
+        assert host.loaded
+        assert host.start_tick is not None
+        assert host.start_tick >= host.load_start_tick
+
+    def test_accelerator_idle_after_completion(self):
+        system = build_nvdla_system("sanity3", 1, "ideal", scale=0.1)
+        system.run_to_completion()
+        core = system.rtls[0].core
+        assert not core.busy
+        assert not core.irq_pending  # cleared by the trace's final command

@@ -1,0 +1,167 @@
+"""RTLSimulator: settle/tick semantics, NBA atomicity, reset, checkpoints."""
+
+import pytest
+
+from repro.rtl import Edge, RTLModule, RTLSimulator
+
+
+def make_counter_module():
+    """Handwritten kernel-level counter (no HDL frontend involved)."""
+    m = RTLModule("ctr")
+    clk = m.add_signal("clk", 1, is_input=True)
+    rst = m.add_signal("rst", 1, is_input=True)
+    en = m.add_signal("en", 1, is_input=True)
+    cnt = m.add_signal("cnt", 8)
+    out = m.add_signal("out", 8, is_output=True)
+
+    def sync(v, mm, nba, nbm):
+        if v[rst.index]:
+            nba.append((cnt.index, 0))
+        elif v[en.index]:
+            nba.append((cnt.index, (v[cnt.index] + 1) & 0xFF))
+
+    def comb(v, mm):
+        v[out.index] = v[cnt.index]
+
+    m.add_sync(sync, clk, reads={rst.index, en.index, cnt.index},
+               writes={cnt.index})
+    m.add_comb(comb, {cnt.index}, {out.index})
+    return m
+
+
+class TestBasicOperation:
+    def test_counts_when_enabled(self):
+        sim = RTLSimulator(make_counter_module())
+        sim.reset()
+        sim.poke("en", 1)
+        sim.settle()
+        sim.tick(5)
+        assert sim.peek("out") == 5
+
+    def test_holds_when_disabled(self):
+        sim = RTLSimulator(make_counter_module())
+        sim.reset()
+        sim.poke("en", 1); sim.settle(); sim.tick(3)
+        sim.poke("en", 0); sim.settle(); sim.tick(10)
+        assert sim.peek("out") == 3
+
+    def test_reset_via_signal(self):
+        sim = RTLSimulator(make_counter_module())
+        sim.reset()
+        sim.poke("en", 1); sim.settle(); sim.tick(3)
+        sim.reset()
+        assert sim.peek("out") == 0
+
+    def test_peek_unknown_signal(self):
+        sim = RTLSimulator(make_counter_module())
+        with pytest.raises(KeyError):
+            sim.peek("nope")
+
+    def test_poke_masks_value(self):
+        sim = RTLSimulator(make_counter_module())
+        sim.poke("cnt", 0x1FF)
+        assert sim.peek("cnt") == 0xFF
+
+    def test_cycle_counter(self):
+        sim = RTLSimulator(make_counter_module())
+        sim.reset()
+        base = sim.cycle
+        sim.tick(7)
+        assert sim.cycle == base + 7
+
+
+class TestNBASemantics:
+    def test_swap_is_atomic(self):
+        """Two registers exchanging values must swap, not duplicate."""
+        m = RTLModule("swap")
+        clk = m.add_signal("clk", 1, is_input=True)
+        a = m.add_signal("a", 8, init=1)
+        b = m.add_signal("b", 8, init=2)
+
+        def p1(v, mm, nba, nbm):
+            nba.append((a.index, v[b.index]))
+
+        def p2(v, mm, nba, nbm):
+            nba.append((b.index, v[a.index]))
+
+        m.add_sync(p1, clk, reads={b.index}, writes={a.index})
+        m.add_sync(p2, clk, reads={a.index}, writes={b.index})
+        sim = RTLSimulator(m)
+        sim.tick()
+        assert (sim.peek("a"), sim.peek("b")) == (2, 1)
+        sim.tick()
+        assert (sim.peek("a"), sim.peek("b")) == (1, 2)
+
+    def test_memory_nba_applied_after_sampling(self):
+        m = RTLModule("mem")
+        clk = m.add_signal("clk", 1, is_input=True)
+        mem = m.add_memory("ram", 8, 4)
+        probe = m.add_signal("probe", 8)
+
+        def p(v, mm, nba, nbm):
+            # read old value into probe, then write new one
+            nba.append((probe.index, mm[mem.index][0]))
+            nbm.append((mem.index, 0, (mm[mem.index][0] + 1) & 0xFF))
+
+        m.add_sync(p, clk, writes={probe.index})
+        sim = RTLSimulator(m)
+        sim.tick()
+        assert sim.peek("probe") == 0 and sim.peek_mem("ram", 0) == 1
+        sim.tick()
+        assert sim.peek("probe") == 1 and sim.peek_mem("ram", 0) == 2
+
+    def test_negedge_process(self):
+        m = RTLModule("neg")
+        clk = m.add_signal("clk", 1, is_input=True)
+        c = m.add_signal("c", 8)
+
+        def p(v, mm, nba, nbm):
+            nba.append((c.index, (v[c.index] + 1) & 0xFF))
+
+        m.add_sync(p, clk, edge=Edge.NEG, reads={c.index}, writes={c.index})
+        sim = RTLSimulator(m)
+        sim.tick(3)
+        assert sim.peek("c") == 3
+
+
+class TestCheckpoint:
+    def test_save_restore_roundtrip(self):
+        sim = RTLSimulator(make_counter_module())
+        sim.reset()
+        sim.poke("en", 1); sim.settle(); sim.tick(5)
+        ckpt = sim.save_checkpoint()
+        sim.tick(10)
+        assert sim.peek("out") == 15
+        sim.restore_checkpoint(ckpt)
+        assert sim.peek("out") == 5
+        assert sim.cycle == ckpt.cycle
+        sim.tick(2)
+        assert sim.peek("out") == 7
+
+    def test_checkpoint_deep_copies_memories(self):
+        m = RTLModule("m")
+        m.add_signal("clk", 1, is_input=True)
+        m.add_memory("ram", 8, 4)
+        sim = RTLSimulator(m)
+        sim.poke_mem("ram", 1, 42)
+        ckpt = sim.save_checkpoint()
+        sim.poke_mem("ram", 1, 99)
+        sim.restore_checkpoint(ckpt)
+        assert sim.peek_mem("ram", 1) == 42
+
+    def test_mismatched_checkpoint_rejected(self):
+        sim1 = RTLSimulator(make_counter_module())
+        m2 = RTLModule("other")
+        m2.add_signal("x", 1)
+        sim2 = RTLSimulator(m2)
+        with pytest.raises(ValueError):
+            sim2.restore_checkpoint(sim1.save_checkpoint())
+
+
+class TestMemoryPokes:
+    def test_poke_mem_masks(self):
+        m = RTLModule("m")
+        m.add_memory("ram", 4, 2)
+        sim = RTLSimulator(m)
+        sim.poke_mem("ram", 0, 0xFF)
+        assert sim.peek_mem("ram", 0) == 0xF

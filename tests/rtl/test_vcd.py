@@ -1,0 +1,131 @@
+"""VCD writer: header format, change-only emission, runtime toggling."""
+
+import io
+
+from repro.rtl import RTLModule, RTLSimulator, VCDWriter
+from repro.rtl.vcd import _identifier
+
+
+class TestIdentifiers:
+    def test_unique_and_printable(self):
+        ids = {_identifier(i) for i in range(2000)}
+        assert len(ids) == 2000
+        assert all(all(33 <= ord(c) <= 126 for c in s) for s in ids)
+
+    def test_compact(self):
+        assert len(_identifier(0)) == 1
+        assert len(_identifier(93)) == 1
+        assert len(_identifier(94)) == 2
+
+
+def _module():
+    m = RTLModule("dut")
+    m.add_signal("clk", 1, is_input=True)
+    m.add_signal("a", 1, is_input=True)
+    m.add_signal("bus", 8)
+    return m
+
+
+class TestHeader:
+    def test_header_contents(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.write_header()
+        text = w.stream.getvalue()
+        assert "$timescale 1ps $end" in text
+        assert "$scope module dut $end" in text
+        assert "$var wire 1" in text and "$var wire 8" in text
+        assert "$enddefinitions $end" in text
+
+    def test_header_written_once(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.write_header()
+        size = len(w.stream.getvalue())
+        w.write_header()
+        assert len(w.stream.getvalue()) == size
+
+
+class TestSampling:
+    def test_only_changes_emitted(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(1, [0, 1, 0x42])
+        first = w.stream.getvalue()
+        w.sample(2, [0, 1, 0x42])  # identical: nothing new
+        assert w.stream.getvalue() == first
+        w.sample(3, [0, 0, 0x42])
+        assert "#3" in w.stream.getvalue()
+
+    def test_multibit_binary_format(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(1, [0, 0, 0b1010])
+        assert "b1010 " in w.stream.getvalue()
+
+    def test_disable_suppresses_output(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO(), enabled=False)
+        w.sample(1, [1, 1, 1])
+        assert w.stream.getvalue() == ""
+
+    def test_reenable_forces_full_dump(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(1, [0, 1, 5])
+        w.disable()
+        w.sample(2, [1, 0, 9])
+        size = len(w.stream.getvalue())
+        w.enable()
+        w.sample(3, [1, 0, 9])
+        text = w.stream.getvalue()
+        assert len(text) > size
+        assert "#3" in text
+
+
+class TestIntegration:
+    def test_simulator_produces_waveform(self):
+        m = RTLModule("m")
+        clk = m.add_signal("clk", 1, is_input=True)
+        c = m.add_signal("c", 4)
+
+        def p(v, mm, nba, nbm):
+            nba.append((c.index, (v[c.index] + 1) & 0xF))
+
+        m.add_sync(p, clk, reads={c.index}, writes={c.index})
+        w = VCDWriter(m, stream=io.StringIO())
+        sim = RTLSimulator(m, trace=w)
+        sim.tick(4)
+        text = w.stream.getvalue()
+        assert text.count("#") >= 4
+        assert "b1 " in text or "b10 " in text
+
+    def test_runtime_toggle_through_shared_library_api(self):
+        from repro.bridge import RTLSharedLibrary
+        from repro.bridge.structs import Field, StructSpec
+
+        m = RTLModule("m")
+        m.add_signal("clk", 1, is_input=True)
+        m.add_signal("x", 1, is_input=True)
+
+        class Lib(RTLSharedLibrary):
+            input_spec = StructSpec("i", [Field("x", 1)])
+            output_spec = StructSpec("o", [Field("x", 1)])
+
+            def drive(self, inputs):
+                self.sim.poke("x", inputs["x"])
+
+            def collect(self):
+                return {"x": self.sim.peek("x")}
+
+        lib = Lib(m, trace_stream=io.StringIO(), trace_enabled=True)
+        lib.reset()
+        lib.tick(lib.input_spec.pack(x=1))
+        assert lib.tracing
+        lib.disable_waveforms()
+        size = len(lib.sim.trace.stream.getvalue())
+        lib.tick(lib.input_spec.pack(x=0))
+        assert len(lib.sim.trace.stream.getvalue()) == size
+        lib.enable_waveforms()
+        lib.tick(lib.input_spec.pack(x=1))
+        assert len(lib.sim.trace.stream.getvalue()) > size

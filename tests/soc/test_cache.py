@@ -1,0 +1,264 @@
+"""Cache: hits/misses, MSHR coalescing and limits, eviction/writeback,
+prefetching.  Uses an IdealMemory downstream so timing is deterministic."""
+
+import pytest
+
+from repro.soc.cache import BLOCK, Cache, StridePrefetcher
+from repro.soc.mem import IdealMemory, PhysicalMemory
+from repro.soc.packet import MemCmd, Packet
+from repro.soc.ports import RequestPort
+from repro.soc.simobject import Simulation
+
+
+class Harness:
+    """Drives a cache's cpu_side and records responses."""
+
+    def __init__(self, sim: Simulation, cache: Cache):
+        self.sim = sim
+        self.responses: list[Packet] = []
+        self.rejects = 0
+        self.port = RequestPort(
+            "driver",
+            recv_timing_resp=lambda pkt: (self.responses.append(pkt), True)[1],
+            recv_req_retry=lambda: None,
+        )
+        self.port.connect(cache.cpu_side)
+
+    def read(self, addr: int, size: int = 8) -> bool:
+        ok = self.port.send_timing_req(
+            Packet(MemCmd.ReadReq, addr, size, requestor="drv")
+        )
+        if not ok:
+            self.rejects += 1
+        return ok
+
+    def write(self, addr: int, data: bytes) -> bool:
+        ok = self.port.send_timing_req(
+            Packet(MemCmd.WriteReq, addr, len(data), data=data, requestor="drv")
+        )
+        if not ok:
+            self.rejects += 1
+        return ok
+
+    def drain(self, ticks: int = 10**7) -> None:
+        self.sim.run(until=self.sim.now + ticks)
+
+
+@pytest.fixture
+def rig():
+    sim = Simulation()
+    cache = Cache(sim, "c", size=4 * 1024, assoc=2, latency_cycles=2, mshrs=4)
+    mem = IdealMemory(sim, "mem", latency_cycles=5)
+    cache.mem_side.connect(mem.port)
+    return sim, cache, Harness(sim, cache), mem
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self, rig):
+        sim, cache, h, _ = rig
+        h.read(0x100)
+        h.drain()
+        assert cache.st_misses.value() == 1
+        h.read(0x108)  # same block
+        h.drain()
+        assert cache.st_hits.value() == 1
+        assert len(h.responses) == 2
+
+    def test_distinct_blocks_all_miss(self, rig):
+        sim, cache, h, _ = rig
+        for i in range(3):
+            h.read(i * BLOCK)
+            h.drain()
+        assert cache.st_misses.value() == 3
+
+    def test_response_carries_data(self, rig):
+        sim, cache, h, mem = rig
+        mem.physmem.write(0x200, b"\xaa" * 8)
+        h.read(0x200)
+        h.drain()
+        assert h.responses[0].data == b"\xaa" * 8
+
+    def test_write_then_read_returns_written_data(self, rig):
+        sim, cache, h, mem = rig
+        h.write(0x300, b"\x11" * 8)
+        h.drain()
+        h.read(0x300)
+        h.drain()
+        assert h.responses[-1].data == b"\x11" * 8
+
+    def test_line_straddling_request_rejected(self, rig):
+        sim, cache, h, _ = rig
+        with pytest.raises(ValueError):
+            h.read(BLOCK - 4, size=8)
+
+    def test_hit_latency_is_configured_latency(self, rig):
+        sim, cache, h, _ = rig
+        h.read(0x100)
+        h.drain()
+        start = sim.now
+        h.read(0x100)
+        h.drain()
+        latency_ticks = h.responses[1].resp_tick or sim.now
+        # hit = 2 cycles of the 2GHz clock = 1000 ticks
+        assert cache.st_hits.value() == 1
+
+
+class TestMSHR:
+    def test_same_block_misses_coalesce(self, rig):
+        sim, cache, h, _ = rig
+        h.read(0x400)
+        h.read(0x408)
+        h.read(0x410)
+        h.drain()
+        assert cache.st_misses.value() == 3
+        assert cache.st_coalesced.value() == 2
+        assert len(h.responses) == 3
+
+    def test_mshr_exhaustion_rejects(self, rig):
+        sim, cache, h, _ = rig
+        accepted = sum(h.read(i * BLOCK) for i in range(6))
+        # 4 MSHRs -> at most 4 outstanding blocks accepted at once
+        assert accepted == 4
+        assert cache.st_mshr_rejects.value() == 2
+        h.drain()
+        assert len(h.responses) == 4
+
+    def test_retry_sent_after_fill(self, rig):
+        sim, cache, h, _ = rig
+        retried = []
+        h.port._recv_req_retry = lambda: retried.append(True)
+        for i in range(5):
+            h.read(i * BLOCK)
+        h.drain()
+        assert retried, "cache must send a retry once an MSHR frees"
+
+    def test_mshr_occupancy_tracks_outstanding(self, rig):
+        sim, cache, h, _ = rig
+        h.read(0)
+        h.read(BLOCK)
+        assert cache.mshr_occupancy() == 2
+        h.drain()
+        assert cache.mshr_occupancy() == 0
+
+
+class TestEviction:
+    def test_eviction_after_filling_a_set(self, rig):
+        sim, cache, h, _ = rig
+        sets = cache.num_sets
+        # 3 blocks mapping to set 0 with assoc 2 -> one eviction
+        for i in range(3):
+            h.read(i * sets * BLOCK)
+            h.drain()
+        assert cache.st_evictions.value() == 1
+
+    def test_lru_victim_selection(self, rig):
+        sim, cache, h, _ = rig
+        sets = cache.num_sets
+        a, b, c = (i * sets * BLOCK for i in range(3))
+        h.read(a); h.drain()
+        h.read(b); h.drain()
+        h.read(a); h.drain()   # touch a: b becomes LRU
+        h.read(c); h.drain()   # evicts b
+        assert cache.contains(a) and cache.contains(c)
+        assert not cache.contains(b)
+
+    def test_dirty_eviction_emits_writeback(self, rig):
+        sim, cache, h, mem = rig
+        sets = cache.num_sets
+        h.write(0, b"\xcc" * 8); h.drain()
+        h.read(1 * sets * BLOCK); h.drain()
+        h.read(2 * sets * BLOCK); h.drain()
+        assert cache.st_writebacks.value() == 1
+
+    def test_clean_eviction_no_writeback(self, rig):
+        sim, cache, h, _ = rig
+        sets = cache.num_sets
+        for i in range(3):
+            h.read(i * sets * BLOCK); h.drain()
+        assert cache.st_writebacks.value() == 0
+
+
+class TestWritebackAbsorption:
+    def test_l2_absorbs_l1_writeback(self):
+        sim = Simulation()
+        l1 = Cache(sim, "l1", 1024, 2, 1, mshrs=4)
+        l2 = Cache(sim, "l2", 8 * 1024, 4, 2, mshrs=8)
+        mem = IdealMemory(sim, "mem", latency_cycles=3)
+        h = Harness(sim, l1)
+        l1.mem_side.connect(l2.cpu_side)
+        l2.mem_side.connect(mem.port)
+
+        sets = l1.num_sets
+        h.write(0, b"\x55" * 8); h.drain()
+        h.read(1 * sets * 64); h.drain()
+        h.read(2 * sets * 64); h.drain()  # evict dirty line from L1
+        assert l1.st_writebacks.value() == 1
+        # L2 has the block (allocated by the earlier fill): absorbed
+        assert l2.contains(0)
+
+
+class TestPrefetcher:
+    def test_stride_stream_triggers_prefetches(self):
+        sim = Simulation()
+        pf = StridePrefetcher(degree=2)
+        cache = Cache(sim, "c", 64 * 1024, 4, 2, mshrs=16, prefetcher=pf)
+        mem = IdealMemory(sim, "mem", latency_cycles=3)
+        cache.mem_side.connect(mem.port)
+        h = Harness(sim, cache)
+        for i in range(8):
+            h.read(i * BLOCK)
+            h.drain()
+        assert cache.st_prefetches.value() > 0
+
+    def test_prefetch_hits_counted(self):
+        sim = Simulation()
+        pf = StridePrefetcher(degree=4)
+        cache = Cache(sim, "c", 64 * 1024, 4, 2, mshrs=16, prefetcher=pf)
+        mem = IdealMemory(sim, "mem", latency_cycles=3)
+        cache.mem_side.connect(mem.port)
+        h = Harness(sim, cache)
+        for i in range(16):
+            h.read(i * BLOCK)
+            h.drain()
+        assert cache.st_prefetch_hits.value() > 0
+        # prefetching reduced demand misses below the block count
+        assert cache.st_misses.value() < 16
+
+    def test_random_stream_no_prefetch_storm(self):
+        sim = Simulation()
+        pf = StridePrefetcher(degree=2)
+        cache = Cache(sim, "c", 64 * 1024, 4, 2, mshrs=16, prefetcher=pf)
+        mem = IdealMemory(sim, "mem", latency_cycles=3)
+        cache.mem_side.connect(mem.port)
+        h = Harness(sim, cache)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(30):
+            h.read(rng.randrange(0, 1 << 20) & ~63)
+            h.drain()
+        assert cache.st_prefetches.value() <= 6
+
+
+class TestMissListeners:
+    def test_listener_fires_per_demand_miss(self, rig):
+        sim, cache, h, _ = rig
+        events = []
+        cache.miss_listeners.append(lambda pkt: events.append(pkt.addr))
+        h.read(0x100); h.drain()
+        h.read(0x100); h.drain()
+        h.read(0x100 + BLOCK); h.drain()
+        assert len(events) == 2
+
+
+class TestGeometry:
+    def test_bad_size_rejected(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            Cache(sim, "c", size=1000, assoc=3, latency_cycles=1, mshrs=4)
+
+    def test_occupancy_counts_lines(self, rig):
+        sim, cache, h, _ = rig
+        h.read(0); h.read(BLOCK)
+        h.drain()
+        assert cache.occupancy() == 2

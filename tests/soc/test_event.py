@@ -1,0 +1,216 @@
+"""Event queue: ordering, priorities, cancellation, run-until semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.soc.event import (
+    ClockDomain,
+    Event,
+    EventPriority,
+    EventQueue,
+    frequency_to_period,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        for t in (50, 10, 30):
+            q.schedule_fn(lambda t=t: fired.append(t), t)
+        q.run()
+        assert fired == [10, 30, 50]
+
+    def test_same_tick_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule_fn(lambda i=i: fired.append(i), 100)
+        q.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_orders_within_tick(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_fn(lambda: fired.append("stats"), 10, EventPriority.STATS)
+        q.schedule_fn(lambda: fired.append("clock"), 10, EventPriority.CLOCK)
+        q.schedule_fn(lambda: fired.append("default"), 10)
+        q.run()
+        assert fired == ["clock", "default", "stats"]
+
+    def test_cur_tick_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_fn(lambda: seen.append(q.cur_tick), 123)
+        q.run()
+        assert seen == [123]
+        assert q.cur_tick == 123
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule_fn(lambda: None, 100)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule_fn(lambda: None, 50)
+
+    def test_double_schedule_rejected(self):
+        q = EventQueue()
+        ev = Event(lambda: None, "e")
+        q.schedule(ev, 10)
+        with pytest.raises(RuntimeError):
+            q.schedule(ev, 20)
+
+    def test_event_can_be_rescheduled_after_firing(self):
+        q = EventQueue()
+        count = []
+        ev = Event(lambda: count.append(1), "tick")
+        q.schedule(ev, 10)
+        q.run()
+        q.schedule(ev, 20)
+        q.run()
+        assert len(count) == 2
+
+    def test_events_scheduled_during_execution(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            q.schedule_fn(lambda: fired.append("second"), q.cur_tick + 5)
+
+        q.schedule_fn(first, 10)
+        q.run()
+        assert fired == ["first", "second"]
+        assert q.cur_tick == 15
+
+
+class TestCancellation:
+    def test_deschedule_prevents_firing(self):
+        q = EventQueue()
+        fired = []
+        ev = Event(lambda: fired.append(1), "e")
+        q.schedule(ev, 10)
+        q.deschedule(ev)
+        q.run()
+        assert fired == []
+
+    def test_deschedule_unscheduled_rejected(self):
+        q = EventQueue()
+        ev = Event(lambda: None, "e")
+        with pytest.raises(RuntimeError):
+            q.deschedule(ev)
+
+    def test_reschedule_moves_event(self):
+        q = EventQueue()
+        seen = []
+        ev = Event(lambda: seen.append(q.cur_tick), "e")
+        q.schedule(ev, 10)
+        q.reschedule(ev, 99)
+        q.run()
+        assert seen == [99]
+
+    def test_len_counts_only_live_events(self):
+        q = EventQueue()
+        ev = Event(lambda: None, "e")
+        q.schedule(ev, 10)
+        q.schedule_fn(lambda: None, 20)
+        assert len(q) == 2
+        q.deschedule(ev)
+        assert len(q) == 1
+        assert not q.empty()
+
+
+class TestRunUntil:
+    def test_until_stops_before_boundary_events(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_fn(lambda: fired.append(10), 10)
+        q.schedule_fn(lambda: fired.append(20), 20)
+        q.run(until=20)
+        assert fired == [10]
+        assert q.cur_tick == 20
+        q.run()
+        assert fired == [10, 20]
+
+    def test_until_advances_time_with_empty_queue(self):
+        q = EventQueue()
+        q.run(until=500)
+        assert q.cur_tick == 500
+
+    def test_max_events_limit(self):
+        q = EventQueue()
+        fired = []
+        for t in range(10):
+            q.schedule_fn(lambda t=t: fired.append(t), t + 1)
+        q.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_run_resumable(self):
+        q = EventQueue()
+        fired = []
+        for t in (5, 15, 25):
+            q.schedule_fn(lambda t=t: fired.append(t), t)
+        q.run(until=10)
+        q.run(until=20)
+        q.run()
+        assert fired == [5, 15, 25]
+
+    def test_executed_counter(self):
+        q = EventQueue()
+        for t in range(4):
+            q.schedule_fn(lambda: None, t + 1)
+        q.run()
+        assert q.executed == 4
+
+
+class TestClockDomain:
+    def test_2ghz_period(self):
+        assert frequency_to_period(2e9) == 500
+
+    def test_1ghz_period(self):
+        assert frequency_to_period(1e9) == 1000
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_to_period(0)
+
+    def test_cycle_tick_roundtrip(self):
+        clk = ClockDomain(2e9)
+        assert clk.cycles_to_ticks(7) == 3500
+        assert clk.ticks_to_cycles(3500) == 7
+
+    def test_next_edge_alignment(self):
+        clk = ClockDomain(1e9)
+        assert clk.next_edge(0) == 0
+        assert clk.next_edge(1) == 1000
+        assert clk.next_edge(1000) == 1000
+        assert clk.next_edge(1001) == 2000
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_next_edge_is_aligned_and_not_before(self, now):
+        clk = ClockDomain(2e9)
+        edge = clk.next_edge(now)
+        assert edge >= now
+        assert edge % clk.period == 0
+        assert edge - now < clk.period
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=-5, max_value=5),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_events_fire_in_nondecreasing_order(spec):
+    """Whatever is scheduled, callbacks observe non-decreasing time and
+    (tick, priority) ordering."""
+    q = EventQueue()
+    observed = []
+    for tick, prio in spec:
+        q.schedule_fn(lambda t=tick, p=prio: observed.append((t, p)), tick, prio)
+    q.run()
+    assert observed == sorted(observed, key=lambda x: (x[0], x[1]))

@@ -1,0 +1,152 @@
+"""Timing ports: binding, the three-call retry protocol, functional path."""
+
+import pytest
+
+from repro.soc.packet import MemCmd, Packet
+from repro.soc.ports import RequestPort, RequestPortWithRetry, ResponsePort
+
+
+def _pkt() -> Packet:
+    return Packet(MemCmd.ReadReq, 0x40, 8)
+
+
+class TestBinding:
+    def test_connect_pairs_ports(self):
+        req = RequestPort("req")
+        resp = ResponsePort("resp")
+        req.connect(resp)
+        assert req.peer is resp and resp.peer is req
+        assert req.connected and resp.connected
+
+    def test_connect_from_response_side(self):
+        req = RequestPort("req")
+        resp = ResponsePort("resp")
+        resp.connect(req)
+        assert req.peer is resp
+
+    def test_double_connect_rejected(self):
+        req = RequestPort("r1")
+        resp = ResponsePort("s1")
+        req.connect(resp)
+        with pytest.raises(RuntimeError):
+            RequestPort("r2").connect(resp)
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            RequestPort("a").connect(RequestPort("b"))  # type: ignore[arg-type]
+
+    def test_send_unbound_rejected(self):
+        with pytest.raises(RuntimeError):
+            RequestPort("r").send_timing_req(_pkt())
+
+
+class TestProtocol:
+    def _pair(self, accept_req=True, accept_resp=True):
+        log = []
+        resp = ResponsePort(
+            "resp",
+            recv_timing_req=lambda pkt: (log.append(("req", pkt)), accept_req)[1],
+            recv_resp_retry=lambda: log.append(("resp_retry", None)),
+            recv_functional=lambda pkt: log.append(("func", pkt)),
+        )
+        req = RequestPort(
+            "req",
+            recv_timing_resp=lambda pkt: (log.append(("resp", pkt)), accept_resp)[1],
+            recv_req_retry=lambda: log.append(("req_retry", None)),
+        )
+        req.connect(resp)
+        return req, resp, log
+
+    def test_accepted_request_reaches_handler(self):
+        req, resp, log = self._pair()
+        pkt = _pkt()
+        assert req.send_timing_req(pkt)
+        assert log == [("req", pkt)]
+
+    def test_rejected_request_marks_waiting(self):
+        req, resp, log = self._pair(accept_req=False)
+        assert not req.send_timing_req(_pkt())
+        assert req.waiting_retry
+
+    def test_retry_notification(self):
+        req, resp, log = self._pair(accept_req=False)
+        req.send_timing_req(_pkt())
+        resp.send_retry_req()
+        assert ("req_retry", None) in log
+        assert not req.waiting_retry
+
+    def test_response_path(self):
+        req, resp, log = self._pair()
+        pkt = _pkt().make_response(b"\0" * 8)
+        assert resp.send_timing_resp(pkt)
+        assert ("resp", pkt) in log
+
+    def test_rejected_response_and_retry(self):
+        req, resp, log = self._pair(accept_resp=False)
+        assert not resp.send_timing_resp(_pkt())
+        assert resp.resp_waiting_retry
+        req.send_retry_resp()
+        assert ("resp_retry", None) in log
+        assert not resp.resp_waiting_retry
+
+    def test_functional_bypasses_timing(self):
+        req, resp, log = self._pair()
+        pkt = _pkt()
+        req.send_functional(pkt)
+        assert log == [("func", pkt)]
+
+
+class TestRequestPortWithRetry:
+    def _sink(self, accept_first_n: int):
+        """A ResponsePort that rejects after the first N requests."""
+        state = {"accepted": 0}
+        received = []
+
+        def recv(pkt):
+            if state["accepted"] < accept_first_n:
+                state["accepted"] += 1
+                received.append(pkt)
+                return True
+            return False
+
+        resp = ResponsePort("sink", recv_timing_req=recv)
+        return resp, received, state
+
+    def test_try_send_immediate(self):
+        resp, received, _ = self._sink(10)
+        port = RequestPortWithRetry("p")
+        port.connect(resp)
+        assert port.try_send(_pkt())
+        assert not port.blocked
+        assert len(received) == 1
+
+    def test_try_send_parks_on_reject(self):
+        resp, received, state = self._sink(0)
+        port = RequestPortWithRetry("p")
+        port.connect(resp)
+        assert not port.try_send(_pkt())
+        assert port.blocked
+        # unblock the sink and retry
+        state["accepted"] = -10
+        resp.send_retry_req()
+        assert not port.blocked
+        assert len(received) == 1
+
+    def test_try_send_while_blocked_rejected(self):
+        resp, _, _ = self._sink(0)
+        port = RequestPortWithRetry("p")
+        port.connect(resp)
+        port.try_send(_pkt())
+        with pytest.raises(RuntimeError):
+            port.try_send(_pkt())
+
+    def test_on_unblock_callback(self):
+        resp, _, state = self._sink(0)
+        port = RequestPortWithRetry("p")
+        port.connect(resp)
+        fired = []
+        port.on_unblock(lambda: fired.append(True))
+        port.try_send(_pkt())
+        state["accepted"] = -10
+        resp.send_retry_req()
+        assert fired == [True]

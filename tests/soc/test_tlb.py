@@ -1,0 +1,70 @@
+"""TLB and page table."""
+
+import pytest
+
+from repro.soc.simobject import Simulation
+from repro.soc.tlb import TLB, PageTable
+
+
+class TestPageTable:
+    def test_identity_unmapped(self):
+        pt = PageTable()
+        assert pt.lookup(0x1234) is None
+
+    def test_mapping_and_offset(self):
+        pt = PageTable()
+        pt.map(0x10000, 0x80000, 0x2000)
+        assert pt.lookup(0x10004) == 0x80004
+        assert pt.lookup(0x11FF8) == 0x81FF8
+        assert pt.lookup(0x12000) is None
+
+    def test_unaligned_mapping_rejected(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            pt.map(0x10001, 0x80000, 0x1000)
+
+
+class TestTLB:
+    def test_hit_after_miss(self, sim: Simulation):
+        tlb = TLB(sim, "tlb", walk_cycles=20)
+        paddr, lat = tlb.translate(0x5000)
+        assert lat == 20
+        paddr2, lat2 = tlb.translate(0x5008)
+        assert lat2 == 0
+        assert tlb.hits.value() == 1
+        assert tlb.misses.value() == 1
+
+    def test_identity_fallback(self, sim: Simulation):
+        tlb = TLB(sim, "tlb")
+        paddr, _ = tlb.translate(0xABC123)
+        assert paddr == 0xABC123
+
+    def test_mapped_translation(self, sim: Simulation):
+        pt = PageTable()
+        pt.map(0x10000, 0x90000, 0x1000)
+        tlb = TLB(sim, "tlb", page_table=pt)
+        paddr, _ = tlb.translate(0x10010)
+        assert paddr == 0x90010
+
+    def test_strict_mode_raises_on_unmapped(self, sim: Simulation):
+        tlb = TLB(sim, "tlb", identity_fallback=False)
+        with pytest.raises(KeyError):
+            tlb.translate(0xDEAD000)
+
+    def test_lru_eviction(self, sim: Simulation):
+        tlb = TLB(sim, "tlb", entries=2)
+        tlb.translate(0x1000)
+        tlb.translate(0x2000)
+        tlb.translate(0x1000)   # refresh
+        tlb.translate(0x3000)   # evicts 0x2000
+        tlb.translate(0x1000)
+        assert tlb.hits.value() == 2
+        tlb.translate(0x2000)   # must walk again
+        assert tlb.misses.value() == 4
+
+    def test_flush_clears_entries(self, sim: Simulation):
+        tlb = TLB(sim, "tlb")
+        tlb.translate(0x1000)
+        tlb.flush()
+        tlb.translate(0x1000)
+        assert tlb.misses.value() == 2

@@ -1,0 +1,76 @@
+"""CLI: argument handling and the compile command end-to-end."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import _parse_params, build_parser, main
+
+PMU_V = pathlib.Path("src/repro/models/pmu/pmu.v")
+BITONIC_VHDL = pathlib.Path("src/repro/models/bitonic/bitonic.vhdl")
+
+
+class TestParamParsing:
+    def test_basic(self):
+        assert _parse_params(["W=8", "N=0x10"]) == {"W": 8, "N": 16}
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["W8"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("compile", "fig5", "table2", "dse", "table3"):
+            args = parser.parse_args(
+                [cmd, "x.v"] if cmd == "compile" else [cmd]
+            )
+            assert args.command == cmd
+
+
+class TestCompileCommand:
+    def test_compile_verilog(self, capsys):
+        rc = main(["compile", str(PMU_V), "--param", "NCOUNTERS=8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top module : pmu" in out
+        assert "Verilator-equivalent" in out
+
+    def test_compile_vhdl(self, capsys):
+        rc = main(["compile", str(BITONIC_VHDL), "--top", "bitonic8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top module : bitonic8" in out
+        assert "GHDL-equivalent" in out
+
+    def test_free_run_with_vcd(self, tmp_path, capsys):
+        vcd = tmp_path / "pmu.vcd"
+        rc = main([
+            "compile", str(PMU_V), "--param", "NCOUNTERS=4",
+            "--ticks", "10", "--vcd", str(vcd),
+        ])
+        assert rc == 0
+        assert vcd.exists()
+        assert "$enddefinitions" in vcd.read_text()
+        assert "free-ran 10 cycles" in capsys.readouterr().out
+
+    def test_show_code(self, capsys):
+        rc = main(["compile", str(PMU_V), "--show-code"])
+        assert rc == 0
+        assert "def _sync" in capsys.readouterr().out
+
+
+class TestExperimentCommands:
+    def test_tiny_dse(self, capsys):
+        rc = main([
+            "dse", "--workload", "sanity3", "--nvdla", "1",
+            "--inflight", "8", "--memories", "HBM", "--scale", "0.1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HBM" in out and "normalized" in out

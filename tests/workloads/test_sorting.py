@@ -1,0 +1,111 @@
+"""Sorting µop generators: they must actually sort, and their streams
+must have the structural properties the PMU experiment depends on."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc.cpu import uop as U
+from repro.workloads.sorting import (
+    BranchPredictor,
+    bubblesort_uops,
+    make_array,
+    quicksort_uops,
+    selectionsort_uops,
+    sort_benchmark,
+)
+
+
+class TestBranchPredictor:
+    def test_learns_biased_branch(self):
+        bp = BranchPredictor()
+        outcomes = [bp.mispredicted("site", True) for _ in range(20)]
+        assert sum(outcomes[2:]) == 0  # learned after warm-up
+
+    def test_alternating_branch_mispredicts(self):
+        bp = BranchPredictor()
+        misses = sum(
+            bp.mispredicted("flip", bool(i % 2)) for i in range(40)
+        )
+        assert misses >= 10
+
+    def test_sites_independent(self):
+        bp = BranchPredictor()
+        for _ in range(10):
+            bp.mispredicted("a", True)
+        assert not bp.mispredicted("a", True)
+        # a fresh site starts cold
+        bp.mispredicted("b", True)
+
+
+@pytest.mark.parametrize("gen", [quicksort_uops, selectionsort_uops,
+                                 bubblesort_uops])
+class TestSortGenerators:
+    def test_actually_sorts(self, gen):
+        data = make_array(100, seed=1)
+        expected = sorted(data)
+        list(gen(data))
+        assert data == expected
+
+    def test_stream_contains_memory_and_branches(self, gen):
+        data = make_array(50, seed=2)
+        kinds = {u[0] for u in gen(data)}
+        assert U.LOAD in kinds and U.BRANCH in kinds
+
+    def test_addresses_within_array_bounds(self, gen):
+        n = 64
+        data = make_array(n, seed=3)
+        base = 0x10_0000
+        for kind, arg in gen(data, base=base):
+            if kind in (U.LOAD, U.STORE):
+                assert base <= arg < base + 8 * n
+
+    def test_deterministic(self, gen):
+        a = list(gen(make_array(40, seed=7)))
+        b = list(gen(make_array(40, seed=7)))
+        assert a == b
+
+
+class TestAlgorithmCharacter:
+    def test_quicksort_cheaper_than_quadratic_sorts(self):
+        n = 128
+        nq = sum(1 for _ in quicksort_uops(make_array(n)))
+        ns = sum(1 for _ in selectionsort_uops(make_array(n)))
+        nb = sum(1 for _ in bubblesort_uops(make_array(n)))
+        assert nq < ns / 3
+        assert nq < nb / 3
+
+    def test_quicksort_on_10x_elements_still_smaller(self):
+        """The paper's Fig. 5 observation: quicksort sorts 10x the
+        elements in a fraction of the work."""
+        nq = sum(1 for _ in quicksort_uops(make_array(1000)))
+        nb = sum(1 for _ in bubblesort_uops(make_array(100)))
+        ns = sum(1 for _ in selectionsort_uops(make_array(100)))
+        assert nq < 3 * (nb + ns)
+
+    def test_bubble_on_sorted_input_is_linear(self):
+        data = list(range(200))
+        count = sum(1 for _ in bubblesort_uops(data))
+        assert count < 200 * 10
+
+
+class TestBenchmark:
+    def test_three_phases_with_sleeps(self):
+        stream = list(sort_benchmark(n=30, sleep_cycles=123))
+        sleeps = [u for u in stream if u[0] == U.SLEEP]
+        assert len(sleeps) == 2
+        assert all(u[1] == 123 for u in sleeps)
+
+    def test_benchmark_is_reproducible(self):
+        a = list(sort_benchmark(n=20, seed=9))
+        b = list(sort_benchmark(n=20, seed=9))
+        assert a == b
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10**6),
+                min_size=2, max_size=60))
+def test_property_all_generators_sort_any_input(values):
+    for gen in (quicksort_uops, selectionsort_uops, bubblesort_uops):
+        data = list(values)
+        list(gen(data))
+        assert data == sorted(values)
