@@ -49,12 +49,16 @@ class RTLObject(SimObject):
         clock: Optional[ClockDomain] = None,
         tlb: Optional[TLB] = None,
         max_inflight: Optional[int] = None,
+        batch_cycles: int = 1,
         parent: Optional[SimObject] = None,
     ) -> None:
         super().__init__(sim, name, parent, clock=clock)
         self.library = library
         self.tlb = tlb
         self.max_inflight = max_inflight
+        #: upper bound on RTL cycles advanced per event-queue pop when
+        #: the model is quiescent (1 = batching off)
+        self.batch_cycles = batch_cycles
 
         # CPU-side: the SoC masters us (config writes, register reads).
         self.cpu_side = [
@@ -103,6 +107,9 @@ class RTLObject(SimObject):
             "stalled_reqs", "memory-side requests delayed by port backpressure"
         )
         self.st_inflight_peak = s.scalar("inflight_peak", "max in-flight mem reqs")
+        self.st_batched_ticks = s.scalar(
+            "batched_ticks", "RTL cycles advanced through the batch fast path"
+        )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -119,12 +126,37 @@ class RTLObject(SimObject):
     # -- the tick ----------------------------------------------------------
 
     def _tick(self) -> None:
+        n = self._batch_window()
         in_bytes = self.build_input()
-        out_bytes = self.library.tick(in_bytes)
-        self.st_ticks.inc()
+        if n > 1:
+            out_bytes = self.library.tick_batch(in_bytes, n)
+            self.st_batched_ticks.inc(n)
+        else:
+            out_bytes = self.library.tick(in_bytes)
+        self.st_ticks.inc(n)
         self.consume_output(self.library.output_spec.unpack(out_bytes))
         if self._running:
-            self.schedule_cycles(self._tick_event, 1, EventPriority.CLOCK)
+            self.schedule_cycles(self._tick_event, n, EventPriority.CLOCK)
+
+    def _batch_window(self) -> int:
+        """RTL cycles to advance on this event-queue pop.
+
+        The window is the model's own quiescence bound
+        (:meth:`idle_cycles`), clamped so no foreign event fires before
+        the next sample: any event strictly before our next edge could
+        change the inputs we would have sampled.  Events *at* the next
+        edge are fine — clock-priority ticks run first at a given tick,
+        exactly as in the unbatched schedule.  This keeps the paper's
+        frequency-ratio semantics: batched or not, edge k is simulated
+        at tick ``k * period``.
+        """
+        limit = min(self.batch_cycles, self.idle_cycles())
+        if limit <= 1:
+            return 1
+        horizon = self.sim.eventq.next_event_tick()
+        if horizon is not None:
+            limit = min(limit, (horizon - self.now) // self.clock.period)
+        return max(1, limit)
 
     # -- hooks for model-specific subclasses ----------------------------------
 
@@ -134,6 +166,17 @@ class RTLObject(SimObject):
 
     def consume_output(self, outputs: dict) -> None:
         """Act on the output struct from this tick (override per model)."""
+
+    def idle_cycles(self) -> int:
+        """Upper bound on cycles this model may advance per input struct.
+
+        Override per model: return > 1 only when (a) the inputs packed
+        by :meth:`build_input` would be byte-identical for that many
+        cycles and (b) every intermediate output is ignorable — no
+        response, interrupt or memory request pulse can be missed.  The
+        default is the always-safe single cycle.
+        """
+        return 1
 
     # -- CPU-side plumbing ------------------------------------------------------
 

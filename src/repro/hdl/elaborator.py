@@ -24,6 +24,9 @@ Semantics notes (documented deviations, all standard co-sim compromises):
 
 from __future__ import annotations
 
+import hashlib
+import os
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -74,6 +77,11 @@ class _CodeBuf:
 
     def pop(self) -> None:
         self.indent -= 1
+
+
+def _body_source(buf: _CodeBuf) -> str:
+    """The function body as stored on processes for codegen fusion."""
+    return "\n".join(buf.lines or ["    pass"])
 
 
 class Elaborator:
@@ -665,7 +673,8 @@ class Elaborator:
             lhs, code, width, lhs_scope, buf, writes, reads, nonblocking=False
         )
         fn = self._materialize(name, f"def {fname}(v, m):", buf)
-        self.rtl.add_comb(fn, reads, writes, name=f"{lhs_scope.prefix}{name}")
+        self.rtl.add_comb(fn, reads, writes, name=f"{lhs_scope.prefix}{name}",
+                          source=_body_source(buf))
 
     def _compile_always(self, item: ast.AlwaysBlock, scope: _Scope) -> None:
         self._proc_counter += 1
@@ -678,7 +687,9 @@ class Elaborator:
             fn = self._materialize(
                 f"always@* {item.loc}", f"def {fname}(v, m):", buf
             )
-            self.rtl.add_comb(fn, reads, writes, name=f"{scope.prefix}comb@{item.loc.line}")
+            self.rtl.add_comb(fn, reads, writes,
+                              name=f"{scope.prefix}comb@{item.loc.line}",
+                              source=_body_source(buf))
             return
         # Clocked process: first edge item is the clock.
         clock_item = item.sensitivity[0]
@@ -699,6 +710,7 @@ class Elaborator:
             reads=reads,
             writes=writes,
             name=f"{scope.prefix}sync@{item.loc.line}",
+            source=_body_source(buf),
         )
 
 
@@ -709,3 +721,83 @@ def elaborate(
 ) -> RTLModule:
     """Convenience wrapper: flatten + compile *top* with parameter overrides."""
     return Elaborator(modules, top, params).elaborate()
+
+
+# ---------------------------------------------------------------------------
+# Design compilation cache
+# ---------------------------------------------------------------------------
+#
+# Repeated sweeps (DSE grids, benchmarks, the differential suite) compile
+# the *same* source with the same parameters over and over; parsing plus
+# elaboration dominates their setup time.  An elaborated RTLModule is
+# immutable during simulation (simulators copy fresh value/memory arrays
+# and never write the module), so identical compilations can share one
+# instance.  Keyed by (frontend, sha256(source), top, params).
+#
+# Disable with REPRO_ELAB_CACHE=0 (or "off"), e.g. when a test mutates a
+# compiled module in place.
+
+
+class ElabCache:
+    """Process-wide cache of elaborated designs."""
+
+    def __init__(self) -> None:
+        self._designs: dict[tuple, RTLModule] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def enabled() -> bool:
+        return os.environ.get("REPRO_ELAB_CACHE", "1").lower() not in (
+            "0", "off", "no", "false",
+        )
+
+    @staticmethod
+    def key(
+        frontend: str,
+        source: str,
+        top: Optional[str],
+        params: Optional[dict[str, int]],
+    ) -> tuple:
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        folded = tuple(sorted((params or {}).items()))
+        return (frontend, digest, top, folded)
+
+    def get_or_build(self, key: tuple, build) -> RTLModule:
+        """Return the cached design for *key*, building it on a miss.
+
+        With the cache disabled every call builds; hit/miss counters are
+        only advanced when the cache is live so ``cache_info`` reflects
+        actual sharing.
+        """
+        if not self.enabled():
+            return build()
+        with self._lock:
+            cached = self._designs.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        built = build()
+        with self._lock:
+            self.misses += 1
+            self._designs[key] = built
+        return built
+
+    def clear(self) -> None:
+        with self._lock:
+            self._designs.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def info(self) -> dict:
+        return {
+            "entries": len(self._designs),
+            "hits": self.hits,
+            "misses": self.misses,
+            "enabled": self.enabled(),
+        }
+
+
+#: the process-wide design cache used by both HDL frontends
+ELAB_CACHE = ElabCache()

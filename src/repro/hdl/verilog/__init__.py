@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...rtl.kernel import RTLModule
-from ..elaborator import elaborate
+from ..elaborator import ELAB_CACHE, elaborate
 from .lexer import tokenize
 from .parser import parse
 
@@ -28,15 +28,26 @@ def compile_verilog(
     ``top`` defaults to the sole module in the source (error if ambiguous),
     matching how Verilator requires the top module to be named only when
     several candidates exist.
+
+    Identical (source, top, params) compilations share one cached design
+    (disable with ``REPRO_ELAB_CACHE=0``); an elaborated RTLModule is
+    immutable during simulation, so sharing is safe.
     """
-    modules = parse(source, filename)
-    if top is None:
-        if len(modules) != 1:
-            raise ValueError(
-                f"multiple modules {sorted(modules)}; specify top explicitly"
-            )
-        top = next(iter(modules))
-    return elaborate(modules, top, params)
+
+    def build() -> RTLModule:
+        modules = parse(source, filename)
+        resolved = top
+        if resolved is None:
+            if len(modules) != 1:
+                raise ValueError(
+                    f"multiple modules {sorted(modules)}; specify top explicitly"
+                )
+            resolved = next(iter(modules))
+        return elaborate(modules, resolved, params)
+
+    return ELAB_CACHE.get_or_build(
+        ELAB_CACHE.key("verilog", source, top, params), build
+    )
 
 
 def compile_verilog_file(

@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...rtl.kernel import RTLModule
-from ..elaborator import elaborate
+from ..elaborator import ELAB_CACHE, elaborate
 from .lexer import tokenize
 from .parser import parse
 
@@ -26,18 +26,28 @@ def compile_vhdl(
 
     ``top`` defaults to the sole entity with an architecture in the source.
     ``params`` overrides generics (GHDL's ``-gNAME=VALUE``).
+
+    Identical (source, top, params) compilations share one cached design
+    (disable with ``REPRO_ELAB_CACHE=0``).
     """
-    modules = parse(source, filename)
-    if top is None:
-        if len(modules) != 1:
-            raise ValueError(
-                f"multiple entities {sorted(modules)}; specify top explicitly"
-            )
-        top = next(iter(modules))
     # VHDL is case-insensitive; the parser normalises to lower case.
-    top = top.lower()
+    top = top.lower() if top is not None else None
     params = {k.lower(): v for k, v in params.items()} if params else None
-    return elaborate(modules, top, params)
+
+    def build() -> RTLModule:
+        modules = parse(source, filename)
+        resolved = top
+        if resolved is None:
+            if len(modules) != 1:
+                raise ValueError(
+                    f"multiple entities {sorted(modules)}; specify top explicitly"
+                )
+            resolved = next(iter(modules))
+        return elaborate(modules, resolved, params)
+
+    return ELAB_CACHE.get_or_build(
+        ELAB_CACHE.key("vhdl", source, top, params), build
+    )
 
 
 def compile_vhdl_file(

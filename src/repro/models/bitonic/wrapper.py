@@ -53,6 +53,7 @@ class BitonicSharedLibrary(RTLSharedLibrary):
         width: int = 32,
         trace_stream: Optional[TextIO] = None,
         trace_enabled: bool = False,
+        backend: str = "codegen",
     ) -> None:
         from ...hdl.vhdl import compile_vhdl
 
@@ -62,7 +63,7 @@ class BitonicSharedLibrary(RTLSharedLibrary):
             load_bitonic_source(), top="bitonic8", params={"W": width}
         )
         super().__init__(rtl, trace_stream=trace_stream,
-                         trace_enabled=trace_enabled)
+                         trace_enabled=trace_enabled, backend=backend)
         self.width = width
 
     def drive(self, inputs: dict) -> None:

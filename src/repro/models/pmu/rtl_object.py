@@ -47,9 +47,11 @@ class PMURTLObject(RTLObject):
         library: PMUSharedLibrary,
         mmio_base: int = 0x1000_0000,
         clock: Optional[ClockDomain] = None,
+        batch_cycles: int = 64,
         parent: Optional[SimObject] = None,
     ) -> None:
-        super().__init__(sim, name, library, clock=clock, parent=parent)
+        super().__init__(sim, name, library, clock=clock,
+                         batch_cycles=batch_cycles, parent=parent)
         self.mmio_base = mmio_base
         self._lanes: list[_EventLane] = []
         self._pending_reads: deque[Packet] = deque()
@@ -111,6 +113,23 @@ class PMURTLObject(RTLObject):
         self.on_interrupt(lambda _tick: core.raise_interrupt(factory()))
 
     # -- struct exchange ----------------------------------------------------------
+
+    def idle_cycles(self) -> int:
+        """Batch only when the PMU provably sits still.
+
+        Counters move solely on event bits, and ``irq``/``rvalid`` are
+        registered pulses, so with ``events == 0`` and no AXI traffic
+        the model's outputs are zero for every skipped cycle.  A
+        clock-wired lane pulses every cycle, so it pins us to
+        single-step; so do queued wire pulses, pending MMIO requests
+        and outstanding reads.
+        """
+        if self.cpu_req_queue or self._pending_reads:
+            return 1
+        for lane in self._lanes:
+            if lane.is_clock or (lane.wire is not None and lane.wire.count):
+                return 1
+        return self.batch_cycles
 
     def build_input(self) -> bytes:
         events = 0

@@ -76,12 +76,13 @@ class PMUSharedLibrary(RTLSharedLibrary):
         n_counters: int = N_COUNTERS,
         trace_stream: Optional[TextIO] = None,
         trace_enabled: bool = False,
+        backend: str = "codegen",
     ) -> None:
         rtl = compile_verilog(
             load_pmu_source(), top="pmu", params={"NCOUNTERS": n_counters}
         )
         super().__init__(rtl, trace_stream=trace_stream,
-                         trace_enabled=trace_enabled)
+                         trace_enabled=trace_enabled, backend=backend)
         self.n_counters = n_counters
         # pin indices resolved once: drive/collect run every RTL cycle
         sigs = rtl.signals

@@ -70,12 +70,13 @@ class RTLCacheSharedLibrary(RTLSharedLibrary):
         idxw: int = 6,
         trace_stream: Optional[TextIO] = None,
         trace_enabled: bool = False,
+        backend: str = "codegen",
     ) -> None:
         rtl = compile_verilog(
             load_rtl_cache_source(), top="rtl_cache", params={"IDXW": idxw}
         )
         super().__init__(rtl, trace_stream=trace_stream,
-                         trace_enabled=trace_enabled)
+                         trace_enabled=trace_enabled, backend=backend)
         self.lines = 1 << idxw
 
     def drive(self, inputs: dict) -> None:
@@ -119,10 +120,11 @@ class RTLCacheObject(RTLObject):
         name: str,
         library: Optional[RTLCacheSharedLibrary] = None,
         clock: Optional[ClockDomain] = None,
+        batch_cycles: int = 64,
         parent: Optional[SimObject] = None,
     ) -> None:
         super().__init__(sim, name, library or RTLCacheSharedLibrary(),
-                         clock=clock, parent=parent)
+                         clock=clock, batch_cycles=batch_cycles, parent=parent)
         self._current: Optional[Packet] = None   # request held at the pins
         self._waiting_fill = False
         self._fill_words: Optional[list[int]] = None
@@ -132,6 +134,19 @@ class RTLCacheObject(RTLObject):
             "rtl_misses", lambda: self.library.sim.peek("miss_count"))
 
     # -- struct exchange ---------------------------------------------------
+
+    def idle_cycles(self) -> int:
+        """Batch freely while no request, fill or response is in play.
+
+        With ``req_valid``/``fill_valid`` both low the cache RTL holds
+        its state, so every intermediate output struct is all-zero and
+        skipping it is exact.
+        """
+        if (self._current is None and not self.cpu_req_queue
+                and not self._waiting_fill and self._fill_words is None
+                and not self.mem_resp_queue):
+            return self.batch_cycles
+        return 1
 
     def build_input(self) -> bytes:
         fields: dict = {}

@@ -5,6 +5,7 @@ Public surface::
     from repro.rtl import RTLModule, RTLSimulator, VCDWriter
 """
 
+from .codegen import CodegenProgram, build_program
 from .kernel import (
     CombLoopError,
     CombProcess,
@@ -15,12 +16,14 @@ from .kernel import (
     SyncProcess,
     mask_for,
 )
-from .simulator import RTLCheckpoint, RTLSimulator
+from .simulator import BACKENDS, RTLCheckpoint, RTLSimulator
 from .synth import AreaReport, estimate_area, estimate_verilog
 from .vcd import VCDWriter
 
 __all__ = [
     "AreaReport",
+    "BACKENDS",
+    "CodegenProgram",
     "CombLoopError",
     "CombProcess",
     "Edge",
@@ -31,6 +34,7 @@ __all__ = [
     "Signal",
     "SyncProcess",
     "VCDWriter",
+    "build_program",
     "estimate_area",
     "estimate_verilog",
     "mask_for",

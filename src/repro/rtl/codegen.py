@@ -1,0 +1,403 @@
+"""Codegen execution backend: fuse RTL processes into generated code.
+
+The interpreter backend evaluates one small Python function per process
+per cycle — faithful, but call dispatch and non-blocking-assignment
+staging (tuple allocation, append, a generic apply loop) dominate
+runtime for real designs.  Following GSIM/Manticore's static-scheduling
+insight, this module fuses the *levelized* combinational order and all
+sync processes into two functions compiled once per design:
+
+* ``settle(v, m)`` — the whole combinational netlist as straight-line
+  code in levelized order;
+* ``tick_batch(v, m, n)`` — ``n`` full clock cycles (posedge sample,
+  NBA/NBM commit, settle, negedge section) in one compiled loop.
+
+Processes elaborated from HDL carry their generated body source
+(:attr:`~repro.rtl.kernel.CombProcess.source`); those bodies are inlined
+verbatim — signal indices and masks already constant-folded into the
+text — and then optimised source-to-source:
+
+* ``nba.append((idx, val))`` full-register NBAs become sentinel-guarded
+  staging locals committed after sampling (no tuples, no apply loop);
+  registers that also receive *partial* (bit/part-select) NBAs keep the
+  list-based path so apply-time merge semantics stay exact;
+* ``nbm.append((mi, addr, val))`` memory NBAs become per-memory staging
+  dicts (last-write-wins per address, same final state as the ordered
+  list apply);
+* ``if/while (1 if cond else 0):`` headers drop the redundant ternary;
+* memory base lists are hoisted into locals (``_m0 = m[0]``).
+
+Every rewrite is pattern-guarded: a line mentioning ``nba.append`` /
+``nbm.append`` that does not match the elaborator's emission pattern
+makes the whole section fall back to the generic staging path, and
+handwritten kernel-level processes (no source) are bound as constants in
+the generated namespace and invoked directly.  Semantic equivalence with
+the interpreter is enforced by the differential test suite
+(``tests/rtl/test_differential.py``).
+
+Designs that need the iterative fixpoint fallback (word-level comb
+cycles) are *not* codegen-eligible —
+:class:`~repro.rtl.simulator.RTLSimulator` falls back to the interpreter
+for them automatically.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence, Union
+
+from .kernel import CombProcess, Edge, RTLModule, SyncProcess
+
+_Proc = Union[CombProcess, SyncProcess]
+
+#: ``if``/``elif``/``while`` headers whose condition is a generated
+#: 0/1 ternary — the wrapper is redundant in boolean context
+_COND_RE = re.compile(r"^(\s*)(if|elif|while) \(1 if (.*) else 0\):$")
+_NBA_RE = re.compile(r"^(\s*)nba\.append\(\((\d+), (.*)\)\)\s*$")
+_NBM_RE = re.compile(r"^(\s*)nbm\.append\(\((\d+), (.*)\)\)\s*$")
+
+
+def _split_top(s: str) -> list[str]:
+    """Split *s* on commas at parenthesis depth zero."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(s):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(s[start:i].strip())
+            start = i + 1
+    parts.append(s[start:].strip())
+    return parts
+
+
+def _balanced(s: str) -> bool:
+    return s.count("(") == s.count(")")
+
+
+def _simplify_conditions(lines: list[str]) -> list[str]:
+    out = []
+    for line in lines:
+        match = _COND_RE.match(line)
+        if match and _balanced(match.group(3)):
+            out.append(f"{match.group(1)}{match.group(2)} {match.group(3)}:")
+        else:
+            out.append(line)
+    return out
+
+
+# The elaborator compiles a Verilog/VHDL for-loop into exactly this
+# shape: literal-init assignment, a while over the loop signal, and a
+# literal-step assignment as the last body line.
+_INIT_RE = re.compile(r"^(\s*)v\[(\d+)\] = \((\d+)\) & (\d+)$")
+_WHILE_RE = re.compile(r"^(\s*)while \(v\[(\d+)\]\) (<|<=) \((\d+)\):$")
+_STEP_RE = re.compile(
+    r"^(\s*)v\[(\d+)\] = \(\(\(\(v\[(\d+)\]\) \+ \((\d+)\)\) & (\d+)\)\) & (\d+)$"
+)
+
+_MAX_UNROLL_ITERS = 64
+_MAX_UNROLL_LINES = 20_000
+
+
+def _unroll_once(lines: list[str]) -> list[str]:
+    """Unroll literal-bound for-loops, folding the loop variable.
+
+    Each iteration's body is emitted with ``v[i]`` replaced by that
+    iteration's constant — CPython's AST optimizer then folds the
+    surrounding arithmetic (``(17) % 20`` → ``17``), so memory indexing
+    and shift amounts become constants and the loop-variable bookkeeping
+    disappears.  The loop signal's final value is stored once at the end
+    (it is architectural state the differential suite checks).
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(lines):
+        init_m = _INIT_RE.match(lines[i])
+        while_m = _WHILE_RE.match(lines[i + 1]) if (
+            init_m and i + 1 < len(lines)
+        ) else None
+        if (
+            while_m is None
+            or while_m.group(2) != init_m.group(2)
+            or while_m.group(1) != init_m.group(1)
+        ):
+            out.append(lines[i])
+            i += 1
+            continue
+        ind, var = while_m.group(1), while_m.group(2)
+        # collect the while body (everything indented deeper)
+        j = i + 2
+        inner = ind + "    "
+        while j < len(lines) and lines[j].startswith(inner):
+            j += 1
+        body = lines[i + 2 : j]
+        step_m = _STEP_RE.match(body[-1]) if body else None
+        var_write = re.compile(rf"^\s*v\[{var}\] =")
+        if (
+            step_m is None
+            or step_m.group(1) != inner
+            or step_m.group(2) != var
+            or step_m.group(3) != var
+            or any(var_write.match(line) for line in body[:-1])
+        ):
+            out.append(lines[i])
+            i += 1
+            continue
+        # simulate the loop counter
+        init = int(init_m.group(3)) & int(init_m.group(4))
+        limit, step = int(while_m.group(4)), int(step_m.group(4))
+        m1, m2 = int(step_m.group(5)), int(step_m.group(6))
+        less_eq = while_m.group(3) == "<="
+        ks: list[int] = []
+        k = init
+        while (k <= limit) if less_eq else (k < limit):
+            ks.append(k)
+            k = ((k + step) & m1) & m2
+            if len(ks) > _MAX_UNROLL_ITERS or (ks and k <= ks[-1]):
+                break
+        else:
+            # converged without tripping a guard: expand
+            var_read = re.compile(rf"v\[{var}\]")
+            expansion: list[str] = []
+            for kval in ks:
+                for line in body[:-1]:
+                    expansion.append(var_read.sub(f"({kval})", line[4:]))
+            expansion.append(f"{ind}v[{var}] = {k}")
+            if len(out) + len(expansion) + (len(lines) - j) <= _MAX_UNROLL_LINES:
+                out.extend(expansion)
+                i = j
+                continue
+        out.append(lines[i])
+        i += 1
+    return out
+
+
+def _unroll_loops(lines: list[str]) -> list[str]:
+    """Run :func:`_unroll_once` to a fixpoint (handles nested loops)."""
+    for _ in range(4):
+        new = _unroll_once(lines)
+        if new == lines:
+            break
+        lines = new
+    return lines
+
+
+def _hoist_memories(lines: list[str], nmem: int) -> list[str]:
+    if nmem == 0:
+        return lines
+    for mi in range(nmem):
+        needle, repl = f"m[{mi}][", f"_m{mi}["
+        lines = [line.replace(needle, repl) for line in lines]
+    return lines
+
+
+@dataclass
+class CodegenProgram:
+    """The fused evaluation functions for one design."""
+
+    settle: Callable      # settle(v, m) -> None
+    tick_batch: Callable  # tick_batch(v, m, n) -> None
+    source: str           # full generated source, for inspection/debugging
+    inlined: int          # processes fused by source inlining
+    called: int           # processes bound as direct calls (no source)
+
+
+class _Emitter:
+    """Accumulates fused source and the namespace of bound callables."""
+
+    def __init__(self, nmem: int) -> None:
+        self.lines: list[str] = []
+        self.namespace: dict = {"_S": object()}  # NBA staging sentinel
+        self.nmem = nmem
+        self.inlined = 0
+        self.called = 0
+        self._next_ref = 0
+
+    def emit(self, line: str, depth: int) -> None:
+        self.lines.append("    " * depth + line)
+
+    def emit_proc(self, proc: _Proc, call_args: str, depth: int) -> None:
+        """Inline *proc*'s body at *depth*, or bind and call its fn."""
+        if proc.source is not None:
+            self.lines.extend(_inline_body(proc, depth))
+            self.inlined += 1
+            return
+        ref = f"_fn{self._next_ref}"
+        self._next_ref += 1
+        self.namespace[ref] = proc.fn
+        self.emit(f"{ref}{call_args}", depth)
+        self.called += 1
+
+    def emit_prologue(self, depth: int) -> None:
+        """Hoist memory base lists (and the sentinel) into locals."""
+        self.emit("_sent = _S", depth)
+        for mi in range(self.nmem):
+            self.emit(f"_m{mi} = m[{mi}]", depth)
+
+    # -- clock-edge sections ---------------------------------------------
+
+    def emit_sync_section(self, procs: Sequence[SyncProcess], depth: int) -> None:
+        """One edge: sample all procs, commit NBAs/NBMs.
+
+        Prefers the staged rewrite (locals + dicts); falls back to the
+        interpreter-shaped list path when a process has no source or a
+        staging line doesn't match the elaborator's pattern.
+        """
+        staged = self._staged_section(procs, depth)
+        if staged is not None:
+            self.lines.extend(staged)
+            self.inlined += len(procs)
+            return
+        self.emit("nba = []", depth)
+        self.emit("nbm = []", depth)
+        for proc in procs:
+            self.emit_proc(proc, "(v, m, nba, nbm)", depth)
+        self._emit_list_apply(depth, regs=None)
+
+    def _emit_list_apply(self, depth: int, regs) -> None:
+        """The generic ordered apply of a residual nba/nbm list.
+
+        With *regs* (the list-class register set of a staged section) the
+        nbm loop is skipped — staged sections route all memory writes
+        through dicts.  3-tuple entries are masked partial writes that
+        merge in program order.
+        """
+        self.emit("for _e in nba:", depth)
+        self.emit("if len(_e) == 2:", depth + 1)
+        self.emit("v[_e[0]] = _e[1]", depth + 2)
+        self.emit("else:", depth + 1)
+        self.emit("v[_e[0]] = (v[_e[0]] & ~_e[2]) | (_e[1] & _e[2])", depth + 2)
+        if regs is None:
+            self.emit("for _me in nbm:", depth)
+            self.emit("m[_me[0]][_me[1]] = _me[2]", depth + 1)
+
+    def _staged_section(
+        self, procs: Sequence[SyncProcess], depth: int
+    ) -> list[str] | None:
+        """Build the staged-rewrite section, or None to fall back."""
+        if any(p.source is None for p in procs):
+            return None
+        body: list[str] = []
+        for p in procs:
+            body.extend(_inline_body(p, depth))
+
+        # Pass 1 — classify: registers with any partial (3-tuple) NBA
+        # keep the ordered-list path; everything else stages.
+        full_regs: set[int] = set()
+        partial_regs: set[int] = set()
+        mems: set[int] = set()
+        for line in body:
+            if "nba.append" in line:
+                m = _NBA_RE.match(line)
+                if m is None or not _balanced(m.group(3)):
+                    return None
+                idx, parts = int(m.group(2)), _split_top(m.group(3))
+                if len(parts) == 1:
+                    full_regs.add(idx)
+                elif len(parts) == 2:
+                    partial_regs.add(idx)
+                else:
+                    return None
+            elif "nbm.append" in line:
+                m = _NBM_RE.match(line)
+                if m is None or not _balanced(m.group(3)):
+                    return None
+                if len(_split_top(m.group(3))) != 2:
+                    return None
+                mems.add(int(m.group(2)))
+        staged_regs = sorted(full_regs - partial_regs)
+        list_regs = partial_regs
+
+        # Pass 2 — rewrite appends in place.
+        out: list[str] = []
+        pad = "    " * depth
+        if list_regs:
+            out.append(f"{pad}nba = []")
+        for idx in staged_regs:
+            out.append(f"{pad}_r{idx} = _sent")
+        for mi in sorted(mems):
+            out.append(f"{pad}_nbm{mi} = {{}}")
+        for line in body:
+            if "nba.append" in line:
+                m = _NBA_RE.match(line)
+                idx = int(m.group(2))
+                if idx in staged_regs:
+                    out.append(f"{m.group(1)}_r{idx} = {m.group(3)}")
+                else:
+                    out.append(line)
+            elif "nbm.append" in line:
+                m = _NBM_RE.match(line)
+                addr, val = _split_top(m.group(3))
+                out.append(f"{m.group(1)}_nbm{m.group(2)}[{addr}] = {val}")
+            else:
+                out.append(line)
+
+        # Pass 3 — commit.  Staged registers, list-class registers and
+        # memory slots are disjoint, so commit order between the groups
+        # is free; within each group program order is preserved.
+        saved = self.lines
+        self.lines = out
+        if list_regs:
+            self._emit_list_apply(depth, regs=list_regs)
+        for idx in staged_regs:
+            self.emit(f"if _r{idx} is not _sent:", depth)
+            self.emit(f"v[{idx}] = _r{idx}", depth + 1)
+        for mi in sorted(mems):
+            self.emit(f"for _a, _x in _nbm{mi}.items():", depth)
+            self.emit(f"_m{mi}[_a] = _x", depth + 1)
+        out, self.lines = self.lines, saved
+        return out
+
+
+def _inline_body(proc: _Proc, depth: int) -> list[str]:
+    """Re-anchor a body stored at base indent 1 to *depth*."""
+    pad = "    " * (depth - 1)
+    assert proc.source is not None
+    return [pad + line for line in proc.source.splitlines()]
+
+
+def build_program(
+    module: RTLModule, levelized: Sequence[CombProcess]
+) -> CodegenProgram:
+    """Fuse *module*'s processes (comb order given by *levelized*)."""
+    nmem = len(module.memories)
+    em = _Emitter(nmem)
+    pos = [p for p in module.sync_procs if p.edge == Edge.POS]
+    neg = [p for p in module.sync_procs if p.edge == Edge.NEG]
+
+    em.emit("def _settle(v, m):", 0)
+    if levelized:
+        em.emit_prologue(1)
+        for proc in levelized:
+            em.emit_proc(proc, "(v, m)", 1)
+    else:
+        em.emit("pass", 1)
+
+    em.emit("", 0)
+    em.emit("def _tick_batch(v, m, n):", 0)
+    em.emit_prologue(1)
+    em.emit("for _ in range(n):", 1)
+    if not (pos or neg or levelized):
+        em.emit("pass", 2)
+    if pos:
+        em.emit_sync_section(pos, 2)
+    for proc in levelized:
+        em.emit_proc(proc, "(v, m)", 2)
+    if neg:
+        em.emit_sync_section(neg, 2)
+        for proc in levelized:
+            em.emit_proc(proc, "(v, m)", 2)
+
+    lines = _hoist_memories(_unroll_loops(_simplify_conditions(em.lines)), nmem)
+    source = "\n".join(lines)
+    code = compile(source, f"<codegen:{module.name}>", "exec")
+    exec(code, em.namespace)  # noqa: S102 - executing our own generated code
+    return CodegenProgram(
+        settle=em.namespace["_settle"],
+        tick_batch=em.namespace["_tick_batch"],
+        source=source,
+        inlined=em.inlined,
+        called=em.called,
+    )

@@ -69,12 +69,19 @@ class Edge:
 
 @dataclass
 class CombProcess:
-    """Combinational logic: runs whenever any read signal may have changed."""
+    """Combinational logic: runs whenever any read signal may have changed.
+
+    ``source`` optionally carries the function's body as generated Python
+    source (one statement per line, base indent of one level, operating on
+    ``v``/``m``).  When present, the codegen backend can inline the body
+    into a fused evaluation function instead of calling ``fn``.
+    """
 
     fn: Callable  # fn(values, mems) -> None
     reads: frozenset[int]
     writes: frozenset[int]
     name: str = "comb"
+    source: str | None = None
 
 
 @dataclass
@@ -93,6 +100,8 @@ class SyncProcess:
     reads: frozenset[int] = frozenset()
     writes: frozenset[int] = frozenset()
     name: str = "sync"
+    #: generated body source for codegen fusion (see CombProcess.source)
+    source: str | None = None
 
 
 class RTLModule:
@@ -140,8 +149,9 @@ class RTLModule:
         reads: frozenset[int] | set[int],
         writes: frozenset[int] | set[int],
         name: str = "comb",
+        source: str | None = None,
     ) -> CombProcess:
-        proc = CombProcess(fn, frozenset(reads), frozenset(writes), name)
+        proc = CombProcess(fn, frozenset(reads), frozenset(writes), name, source)
         self.comb_procs.append(proc)
         return proc
 
@@ -153,9 +163,11 @@ class RTLModule:
         reads: frozenset[int] | set[int] = frozenset(),
         writes: frozenset[int] | set[int] = frozenset(),
         name: str = "sync",
+        source: str | None = None,
     ) -> SyncProcess:
         clk_idx = clock.index if isinstance(clock, Signal) else clock
-        proc = SyncProcess(fn, clk_idx, edge, frozenset(reads), frozenset(writes), name)
+        proc = SyncProcess(fn, clk_idx, edge, frozenset(reads), frozenset(writes),
+                           name, source)
         self.sync_procs.append(proc)
         return proc
 

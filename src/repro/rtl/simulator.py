@@ -14,6 +14,18 @@ Evaluation model (mirrors a Verilated model's ``eval()`` loop):
 The simulator also provides checkpoint save/restore (the paper notes
 Verilator checkpointing as an enabled feature) and optional VCD tracing
 with runtime enable/disable.
+
+Execution backends
+------------------
+Two backends share these semantics bit-for-bit:
+
+* ``"codegen"`` (default) — processes are fused into generated
+  straight-line functions (:mod:`repro.rtl.codegen`), and
+  :meth:`RTLSimulator.run_cycles` advances whole batches of cycles in
+  one compiled loop.  Requires a levelizable (acyclic word-level) comb
+  graph; designs needing the iterative fixpoint fall back automatically.
+* ``"interp"`` — the original per-process interpreter; always available
+  and the reference for the differential test suite.
 """
 
 from __future__ import annotations
@@ -22,8 +34,11 @@ import copy
 from dataclasses import dataclass
 from typing import Optional
 
+from .codegen import CodegenProgram, build_program
 from .kernel import CombLoopError, Edge, RTLModule, Signal
 from .vcd import VCDWriter
+
+BACKENDS = ("codegen", "interp")
 
 
 @dataclass
@@ -47,7 +62,12 @@ class RTLSimulator:
         module: RTLModule,
         trace: Optional[VCDWriter] = None,
         clock: str = "clk",
+        backend: str = "codegen",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.module = module
         self.values: list[int] = module.fresh_values()
         self.mems: list[list[int]] = module.fresh_mems()
@@ -61,6 +81,14 @@ class RTLSimulator:
         except CombLoopError:
             self._levelized = list(module.comb_procs)
             self._iterative = True
+        #: backend the caller asked for
+        self.requested_backend = backend
+        self._codegen: Optional[CodegenProgram] = None
+        if backend == "codegen" and not self._iterative:
+            self._codegen = build_program(module, self._levelized)
+        #: backend actually in effect ("codegen" falls back to "interp"
+        #: when the design needs iterative fixpoint settling)
+        self.backend = "codegen" if self._codegen is not None else "interp"
         self.cycle = 0
         self.trace = trace
         self._clock_sig: Optional[Signal] = module.signals.get(clock)
@@ -109,6 +137,9 @@ class RTLSimulator:
         :class:`CombLoopError` if they never do).
         """
         v, m = self.values, self.mems
+        if self._codegen is not None:
+            self._codegen.settle(v, m)
+            return
         if not self._iterative:
             for proc in self._levelized:
                 proc.fn(v, m)
@@ -144,9 +175,30 @@ class RTLSimulator:
             self.mems = self.module.fresh_mems()
             self.settle()
 
+    def run_cycles(self, n: int) -> None:
+        """Advance *n* full clock cycles (batched when possible).
+
+        Semantically identical to calling :meth:`tick` *n* times — with
+        the codegen backend and tracing off the whole batch runs inside
+        one generated loop, so ``run_cycles(a); run_cycles(b)`` equals
+        ``run_cycles(a + b)`` exactly, including mid-batch checkpoints.
+        """
+        if n < 0:
+            raise ValueError(f"cannot run a negative cycle count ({n})")
+        self.tick(n)
+
     def tick(self, cycles: int = 1) -> None:
         """Advance one (or more) full clock cycles."""
+        if cycles <= 0:
+            return
         v, m = self.values, self.mems
+        tracing = self.trace is not None and self.trace.enabled
+        if self._codegen is not None and not tracing:
+            # fused batch: all cycles run inside one generated loop
+            self._codegen.tick_batch(v, m, cycles)
+            self.cycle += cycles
+            return
+        cg_settle = self._codegen.settle if self._codegen is not None else None
         pos, neg = self._pos_procs, self._neg_procs
         clk = self._clock_sig
         for _ in range(cycles):
@@ -161,7 +213,9 @@ class RTLSimulator:
             self._apply_nba(v, nba)
             for mi, addr, val in nbm:
                 m[mi][addr] = val
-            if self._iterative:
+            if cg_settle is not None:
+                cg_settle(v, m)
+            elif self._iterative:
                 self.settle()
             else:
                 for proc in self._levelized:
@@ -174,7 +228,9 @@ class RTLSimulator:
                 self._apply_nba(v, nba)
                 for mi, addr, val in nbm:
                     m[mi][addr] = val
-                if self._iterative:
+                if cg_settle is not None:
+                    cg_settle(v, m)
+                elif self._iterative:
                     self.settle()
                 else:
                     for proc in self._levelized:

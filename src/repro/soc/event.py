@@ -157,6 +157,19 @@ class EventQueue:
             self.deschedule(event)
         return self.schedule(event, tick, priority)
 
+    def next_event_tick(self) -> Optional[int]:
+        """Tick of the earliest live event, or None if the queue is empty.
+
+        Used by batching clients (e.g. an RTLObject advancing many RTL
+        cycles per event-queue pop): the earliest live entry bounds how
+        far simulated state can be advanced without missing an
+        interaction.  Dead (lazily-cancelled) entries at the top are
+        discarded on the way.
+        """
+        while self._heap and not self._heap[0].alive:
+            heapq.heappop(self._heap)
+        return self._heap[0].tick if self._heap else None
+
     # -- main loop -------------------------------------------------------
 
     def service_one(self) -> bool:
