@@ -1,0 +1,228 @@
+"""Parallel DSE sweep engine + event-queue fast path (BENCH_dse_parallel.json).
+
+Two before/after measurements in one artifact:
+
+* **Sweep wall-clock** — a shrunk Fig. 7 grid run at ``jobs=1`` vs
+  ``jobs=4`` (bit-identical results asserted), plus a warm-cache rerun.
+  Real speedup needs real cores: the JSON records ``cpus`` and the
+  speedup assertion only applies on >= 4-core hosts.
+* **Event-queue delta** — the current tuple-heap ``EventQueue`` against
+  an in-file reconstruction of the previous ordered-dataclass
+  implementation, on a populated-heap dispatch loop and on a
+  reschedule/len churn loop (where the old O(n) ``len``/``empty`` scan
+  and unbounded dead-entry growth dominate).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from conftest import FAST, OUT_DIR
+
+from repro.dse.sweep import run_dse
+from repro.parallel import ResultCache
+from repro.soc.event import EventQueue
+
+JOBS = 4
+
+
+# -- the pre-fast-path event queue, reconstructed as the baseline ----------
+
+
+@dataclass(order=True)
+class _LegacyEntry:
+    tick: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    alive: bool = field(default=True, compare=False)
+
+
+class _LegacyEvent:
+    __slots__ = ("callback", "name", "_entry")
+
+    def __init__(self, callback, name="event"):
+        self.callback = callback
+        self.name = name
+        self._entry: Optional[_LegacyEntry] = None
+
+    @property
+    def scheduled(self):
+        return self._entry is not None and self._entry.alive
+
+
+class LegacyEventQueue:
+    """The ordered-dataclass heap with O(n) len/empty and lazy-only
+    cancellation, kept verbatim-equivalent for the delta measurement."""
+
+    def __init__(self):
+        self._heap: list[_LegacyEntry] = []
+        self._seq = 0
+        self.cur_tick = 0
+        self.executed = 0
+
+    def __len__(self):
+        return sum(1 for e in self._heap if e.alive)
+
+    def empty(self):
+        return not any(e.alive for e in self._heap)
+
+    def schedule(self, event, tick, priority=0):
+        if tick < self.cur_tick:
+            raise ValueError("past")
+        if event.scheduled:
+            raise RuntimeError("scheduled")
+        entry = _LegacyEntry(tick, priority, self._seq, event.callback)
+        self._seq += 1
+        event._entry = entry
+        heapq.heappush(self._heap, entry)
+        return event
+
+    def schedule_fn(self, callback, tick, priority=0, name="fn"):
+        return self.schedule(_LegacyEvent(callback, name), tick, priority)
+
+    def deschedule(self, event):
+        event._entry.alive = False
+        event._entry = None
+
+    def reschedule(self, event, tick, priority=0):
+        if event.scheduled:
+            self.deschedule(event)
+        return self.schedule(event, tick, priority)
+
+    def run(self, until=None):
+        while self._heap:
+            entry = self._heap[0]
+            if not entry.alive:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry.tick >= until:
+                self.cur_tick = until
+                return self.cur_tick
+            heapq.heappop(self._heap)
+            entry.alive = False
+            self.cur_tick = entry.tick
+            self.executed += 1
+            entry.callback()
+        return self.cur_tick
+
+
+# -- microbench loops ------------------------------------------------------
+
+
+def _dispatch_events_per_sec(queue_cls, n_events: int, resident: int) -> float:
+    q = queue_cls()
+    count = 0
+
+    def noop():
+        pass
+
+    for i in range(resident):
+        q.schedule_fn(noop, 10**9 + i)
+
+    def cb():
+        nonlocal count
+        count += 1
+        if count < n_events:
+            q.schedule_fn(cb, q.cur_tick + 10)
+
+    t0 = time.perf_counter()
+    q.schedule_fn(cb, 0)
+    q.run(until=10**8)
+    elapsed = time.perf_counter() - t0
+    assert count == n_events
+    return n_events / elapsed
+
+
+def _churn_ops_per_sec(queue_cls, n_ops: int) -> float:
+    q = queue_cls()
+    events = [q.schedule_fn(lambda: None, 10 + i) for i in range(200)]
+    t0 = time.perf_counter()
+    for i in range(n_ops):
+        q.reschedule(events[i % 200], 20 + i)
+        q.empty()
+        len(q)
+    return n_ops / (time.perf_counter() - t0)
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    return max(fn() for _ in range(reps))
+
+
+def test_dse_parallel_benchmark():
+    if FAST:
+        grid = dict(inflight_sweep=(4, 16), memories=("DDR4-1ch", "HBM"),
+                    scale=0.12)
+        n_events, n_ops = 10_000, 5_000
+    else:
+        grid = dict(inflight_sweep=(4, 16, 64),
+                    memories=("DDR4-1ch", "DDR4-4ch", "HBM"), scale=0.2)
+        n_events, n_ops = 20_000, 10_000
+
+    # -- sweep: jobs=1 vs jobs=N, then a warm-cache rerun ------------------
+    serial = run_dse("sanity3", 1, jobs=1, **grid)
+    fanned = run_dse("sanity3", 1, jobs=JOBS, **grid)
+    assert fanned.normalized == serial.normalized, \
+        "parallel sweep must be bit-identical to serial"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        run_dse("sanity3", 1, jobs=1, cache=cache, **grid)
+        warm = run_dse("sanity3", 1, jobs=1, cache=cache, **grid)
+    assert warm.cache_hits == warm.points
+    assert warm.normalized == serial.normalized
+
+    speedup = serial.wall_seconds / fanned.wall_seconds
+    cpus = os.cpu_count() or 1
+
+    # -- event queue: new vs legacy ---------------------------------------
+    deep_new = _best_of(lambda: _dispatch_events_per_sec(EventQueue, n_events, 512))
+    deep_old = _best_of(lambda: _dispatch_events_per_sec(LegacyEventQueue, n_events, 512))
+    churn_new = _best_of(lambda: _churn_ops_per_sec(EventQueue, n_ops))
+    churn_old = _best_of(lambda: _churn_ops_per_sec(LegacyEventQueue, n_ops))
+
+    payload = {
+        "cpus": cpus,
+        "jobs": JOBS,
+        "sweep": {
+            "workload": "sanity3",
+            "grid": {k: list(v) if isinstance(v, tuple) else v
+                     for k, v in grid.items()},
+            "points": serial.points,
+            "wall_seconds_jobs1": round(serial.wall_seconds, 3),
+            f"wall_seconds_jobs{JOBS}": round(fanned.wall_seconds, 3),
+            "speedup": round(speedup, 2),
+            "bit_identical": True,
+            "warm_cache_wall_seconds": round(warm.wall_seconds, 3),
+            "warm_cache_hits": warm.cache_hits,
+        },
+        "event_queue": {
+            "dispatch_events_per_sec": round(deep_new),
+            "dispatch_events_per_sec_legacy": round(deep_old),
+            "dispatch_ratio": round(deep_new / deep_old, 2),
+            "churn_ops_per_sec": round(churn_new),
+            "churn_ops_per_sec_legacy": round(churn_old),
+            "churn_ratio": round(churn_new / churn_old, 2),
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_dse_parallel.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print()
+    print(json.dumps(payload, indent=2))
+
+    # the fast path must beat the dataclass heap on both loops
+    assert deep_new > deep_old * 1.15
+    assert churn_new > churn_old * 3.0
+    # a warm cache should make the rerun nearly free
+    assert warm.wall_seconds < serial.wall_seconds / 2
+    # real fan-out speedup requires real cores
+    if cpus >= 4:
+        assert speedup >= 1.5

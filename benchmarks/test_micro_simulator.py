@@ -16,9 +16,19 @@ from repro.soc.simobject import Simulation
 
 
 def test_micro_event_queue_throughput(benchmark):
+    """Dispatch through a *populated* heap — a real SoC run keeps
+    hundreds of resident events (per-core clocks, DRAM timers, RTL
+    ticks), so every push/pop pays O(log n) entry comparisons."""
+
     def run():
         q = EventQueue()
         count = 0
+
+        def noop():
+            pass
+
+        for i in range(512):
+            q.schedule_fn(noop, 10**9 + i)
 
         def cb():
             nonlocal count
@@ -27,10 +37,27 @@ def test_micro_event_queue_throughput(benchmark):
                 q.schedule_fn(cb, q.cur_tick + 10)
 
         q.schedule_fn(cb, 0)
-        q.run()
+        q.run(until=10**8)
         return count
 
     assert benchmark(run) == 20_000
+
+
+def test_micro_event_queue_churn(benchmark):
+    """reschedule/deschedule churn + empty()/len() polling — the
+    pattern batching clients (RTLObject run_cycles) and retry loops
+    produce.  Exercises the O(1) live counter and heap compaction."""
+
+    def run():
+        q = EventQueue()
+        events = [q.schedule_fn(lambda: None, 10 + i) for i in range(200)]
+        for i in range(10_000):
+            q.reschedule(events[i % 200], 20 + i)
+            q.empty()
+            len(q)
+        return len(q)
+
+    assert benchmark(run) == 200
 
 
 def test_micro_struct_codec(benchmark):

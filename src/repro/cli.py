@@ -83,11 +83,28 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fig5(args: argparse.Namespace) -> int:
-    from .dse import render_fig5, run_fig5
+def _progress(total: int, label: str):
+    from .parallel import ProgressReporter
 
-    result = run_fig5(n_sort=args.n, interval_cycles=args.interval)
-    print(render_fig5(result, max_rows=args.rows))
+    return ProgressReporter(total, label=label)
+
+
+def cmd_fig5(args: argparse.Namespace) -> int:
+    from .dse import render_fig5, run_fig5, run_fig5_series
+
+    intervals = tuple(int(x) for x in args.intervals.split(","))
+    if len(intervals) == 1:
+        results = {intervals[0]: run_fig5(n_sort=args.n,
+                                          interval_cycles=intervals[0])}
+    else:
+        results = run_fig5_series(
+            intervals, n_sort=args.n, jobs=args.jobs,
+            progress=_progress(len(intervals), "fig5"),
+        )
+    for interval, result in results.items():
+        if len(results) > 1:
+            print(f"\n== sampling interval: {interval} cycles ==")
+        print(render_fig5(result, max_rows=args.rows))
     return 0
 
 
@@ -96,29 +113,40 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from .dse.pmu_experiment import run_table2
 
     sizes = tuple(int(s) for s in args.sizes.split(","))
-    print(render_table2(run_table2(sizes=sizes)))
+    rows = run_table2(sizes=sizes, jobs=args.jobs,
+                      progress=_progress(len(sizes), "table2"))
+    print(render_table2(rows))
     return 0
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
     from .dse import render_dse, run_dse
+    from .parallel import ResultCache
 
     inflight = tuple(int(x) for x in args.inflight.split(","))
     memories = tuple(args.memories.split(","))
+    cache = None if args.no_cache else ResultCache()
+    n_points = len(inflight) * len(memories) + 1
     result = run_dse(
         args.workload, args.nvdla, inflight_sweep=inflight,
         memories=memories, scale=args.scale,
+        jobs=args.jobs, cache=cache,
+        progress=_progress(n_points, "dse"),
     )
     print(render_dse(result, inflight_sweep=inflight))
-    print(f"\n({result.wall_seconds:.1f}s wall for "
-          f"{len(inflight) * len(memories) + 1} simulations)")
+    line = (f"\n({result.wall_seconds:.1f}s wall for {n_points} simulations "
+            f"at jobs={args.jobs}")
+    if cache is not None:
+        line += (f"; cache: {result.cache_hits} hit(s), "
+                 f"{result.cache_misses} miss(es) under {cache.root}")
+    print(line + ")")
     return 0
 
 
 def cmd_table3(args: argparse.Namespace) -> int:
     from .dse import render_table3, run_table3
 
-    print(render_table3(run_table3()))
+    print(render_table3(run_table3(jobs=args.jobs)))
     return 0
 
 
@@ -144,14 +172,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a structural LUT/FF area estimate")
     p.set_defaults(fn=cmd_compile)
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan independent simulations over N "
+                            "worker processes (default 1 = serial)")
+
     p = sub.add_parser("fig5", help="PMU vs gem5 IPC series")
     p.add_argument("--n", type=int, default=200, help="sort size")
-    p.add_argument("--interval", type=int, default=10_000)
+    p.add_argument("--intervals", "--interval", default="10000",
+                   dest="intervals", metavar="CYC[,CYC...]",
+                   help="sampling interval(s); several run in parallel")
     p.add_argument("--rows", type=int, default=40)
+    add_jobs(p)
     p.set_defaults(fn=cmd_fig5)
 
     p = sub.add_parser("table2", help="PMU/waveform overheads")
     p.add_argument("--sizes", default="60,150,300")
+    add_jobs(p)
     p.set_defaults(fn=cmd_table2)
 
     p = sub.add_parser("dse", help="NVDLA design-space exploration")
@@ -162,9 +199,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--memories",
                    default="DDR4-1ch,DDR4-2ch,DDR4-4ch,GDDR5,HBM")
     p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the on-disk point cache "
+                        "(benchmarks/out/cache)")
+    add_jobs(p)
     p.set_defaults(fn=cmd_dse)
 
     p = sub.add_parser("table3", help="full-system vs standalone overhead")
+    add_jobs(p)
     p.set_defaults(fn=cmd_table3)
     return parser
 

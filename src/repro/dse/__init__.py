@@ -8,6 +8,7 @@ from .pmu_experiment import (
     Table2Row,
     build_pmu_system,
     run_fig5,
+    run_fig5_series,
     run_table2,
 )
 from .render import render_dse, render_fig5, render_table2, render_table3
@@ -28,5 +29,6 @@ __all__ = [
     "NVDLASystem", "NVDLA_COUNTS", "Table2Row", "Table3Result",
     "build_nvdla_system", "build_pmu_system", "measure_exec_ticks",
     "render_dse", "render_fig5", "render_table2", "render_table3",
-    "run_dse", "run_fig5", "run_standalone", "run_table2", "run_table3",
+    "run_dse", "run_fig5", "run_fig5_series", "run_standalone",
+    "run_table2", "run_table3",
 ]

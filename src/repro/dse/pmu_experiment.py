@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..models.pmu import PMUDriver, PMURTLObject, PMUSharedLibrary
+from ..parallel import run_points
 from ..soc.cpu.core import EventWire
 from ..soc.system import SoC, SoCConfig
 from ..workloads.sorting import sort_benchmark
@@ -194,6 +195,30 @@ def run_fig5(
     return result
 
 
+def _fig5_point(point: tuple) -> Fig5Result:
+    """Worker: one Fig. 5 series at a given sampling interval."""
+    n_sort, interval_cycles, memory, sleep_cycles = point
+    return run_fig5(
+        n_sort=n_sort, interval_cycles=interval_cycles,
+        memory=memory, sleep_cycles=sleep_cycles,
+    )
+
+
+def run_fig5_series(
+    intervals: tuple[int, ...],
+    n_sort: int = 300,
+    memory: str = "DDR4-2ch",
+    sleep_cycles: int = 20_000,
+    jobs: int = 1,
+    progress=None,
+) -> dict[int, Fig5Result]:
+    """Fig. 5 at several sampling intervals — each series is an
+    independent full-system run, so they fan out over workers."""
+    points = [(n_sort, iv, memory, sleep_cycles) for iv in intervals]
+    results = run_points(points, _fig5_point, jobs=jobs, progress=progress)
+    return dict(zip(intervals, results))
+
+
 # ---------------------------------------------------------------------------
 # Table 2: simulation-time overhead
 # ---------------------------------------------------------------------------
@@ -244,19 +269,27 @@ def _timed_run(n_sort: int, with_pmu: bool, waveform: bool,
             os.unlink(waveform_path)
 
 
+def _table2_row(point: tuple) -> Table2Row:
+    """Worker: one Table 2 row — all three timed configurations run in
+    the same worker so the reported *ratios* share one core's load."""
+    n, memory = point
+    t_plain = _timed_run(n, with_pmu=False, waveform=False, memory=memory)
+    t_pmu = _timed_run(n, with_pmu=True, waveform=False, memory=memory)
+    t_wave = _timed_run(n, with_pmu=True, waveform=True, memory=memory)
+    return Table2Row(n, t_plain, t_pmu, t_wave)
+
+
 def run_table2(
     sizes: tuple[int, ...] = (100, 200, 400),
     memory: str = "DDR4-2ch",
+    jobs: int = 1,
+    progress=None,
 ) -> list[Table2Row]:
     """Reproduce Table 2: wall-clock overhead of gem5+PMU and +waveform.
 
     Sizes are the sort-benchmark N (the paper uses 3k/30k/60k on a
-    C++ simulator; scaled here — the *ratios* are the result).
+    C++ simulator; scaled here — the *ratios* are the result).  Rows
+    are wall-clock measurements and are therefore never cached.
     """
-    rows = []
-    for n in sizes:
-        t_plain = _timed_run(n, with_pmu=False, waveform=False, memory=memory)
-        t_pmu = _timed_run(n, with_pmu=True, waveform=False, memory=memory)
-        t_wave = _timed_run(n, with_pmu=True, waveform=True, memory=memory)
-        rows.append(Table2Row(n, t_plain, t_pmu, t_wave))
-    return rows
+    points = [(n, memory) for n in sizes]
+    return run_points(points, _table2_row, jobs=jobs, progress=progress)

@@ -62,6 +62,15 @@ def render_dse(result: DSEResult, inflight_sweep=INFLIGHT_SWEEP) -> str:
             f"{memory:<14}"
             + "".join(f"{series[m]:>8.3f}" for m in inflight_sweep)
         )
+    if result.wall_seconds:
+        footer = (
+            f"{result.points} points: {result.point_seconds:.1f}s simulated "
+            f"in {result.wall_seconds:.1f}s elapsed "
+            f"({result.speedup:.1f}x, jobs={result.jobs}"
+        )
+        if result.cache_hits:
+            footer += f", cache {result.cache_hits} hit(s)"
+        lines.append(footer + ")")
     return "\n".join(lines)
 
 

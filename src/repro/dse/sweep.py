@@ -4,13 +4,21 @@
 sweeps the maximum in-flight requests {1,4,8,16,32,64,128,240} across
 the five memory technologies, normalising each point to the ideal
 1-cycle-memory run — exactly the paper's y-axis.
+
+Every point is an independent full-system simulation, so the sweep
+fans out over :func:`repro.parallel.run_points` process workers
+(``jobs=N``) and the per-point tick counts go through
+:class:`repro.parallel.ResultCache`; the merge is by point index, so a
+parallel run is bit-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Optional
 
+from ..parallel import ResultCache, run_points
 from .nvdla_system import build_nvdla_system
 
 #: the paper's x-axis
@@ -43,16 +51,50 @@ def measure_exec_ticks(
 
 @dataclass
 class DSEResult:
-    """One subfigure: normalized performance[memory][inflight]."""
+    """One subfigure: normalized performance[memory][inflight].
+
+    ``wall_seconds`` is *elapsed* wall time for the whole sweep;
+    ``point_seconds`` is the aggregate wall time spent inside the
+    simulated points (cache hits contribute their originally measured
+    time).  ``point_seconds / wall_seconds`` therefore shows the
+    parallel/cache speedup directly in the rendered figure.
+    """
 
     workload: str
     n_nvdla: int
     ideal_ticks: int
     normalized: dict[str, dict[int, float]] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    point_seconds: float = 0.0
+    jobs: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def series(self, memory: str) -> list[float]:
         return [self.normalized[memory][m] for m in INFLIGHT_SWEEP]
+
+    @property
+    def points(self) -> int:
+        return 1 + sum(len(series) for series in self.normalized.values())
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate point time over elapsed time (>1 when parallel
+        fan-out or cache hits paid off)."""
+        return self.point_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _dse_point(point: tuple) -> dict:
+    """Worker: one simulation point -> {ticks, seconds}.
+
+    Module-level so it pickles into pool workers; returns the
+    deterministic tick count plus the (host-dependent, never cached
+    *into* the tick data) wall cost of producing it.
+    """
+    workload, n_nvdla, memory, inflight, scale = point
+    t0 = time.perf_counter()
+    ticks = measure_exec_ticks(workload, n_nvdla, memory, inflight, scale)
+    return {"ticks": ticks, "seconds": time.perf_counter() - t0}
 
 
 def run_dse(
@@ -61,21 +103,61 @@ def run_dse(
     inflight_sweep: tuple[int, ...] = INFLIGHT_SWEEP,
     memories: tuple[str, ...] = MEMORIES,
     scale: float | None = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress=None,
 ) -> DSEResult:
-    """Regenerate one subfigure of Fig. 6 (googlenet) / Fig. 7 (sanity3)."""
+    """Regenerate one subfigure of Fig. 6 (googlenet) / Fig. 7 (sanity3).
+
+    ``jobs > 1`` fans the points over worker processes; ``cache``
+    short-circuits points already simulated by this code version.
+    Results are bit-identical regardless of either option.
+    """
     if scale is None:
         scale = DEFAULT_SCALES.get(workload, 1.0)
     t0 = time.perf_counter()
-    ideal = measure_exec_ticks(workload, n_nvdla, "ideal",
-                               max(inflight_sweep), scale)
-    result = DSEResult(workload, n_nvdla, ideal)
+    # Point 0 is the ideal-memory normalisation baseline.
+    points: list[tuple] = [(workload, n_nvdla, "ideal", max(inflight_sweep), scale)]
+    points += [
+        (workload, n_nvdla, memory, inflight, scale)
+        for memory in memories
+        for inflight in inflight_sweep
+    ]
+
+    measured: list[Optional[dict]] = [None] * len(points)
+    keys: list[Optional[str]] = [None] * len(points)
+    todo: list[int] = []
+    for i, point in enumerate(points):
+        if cache is not None:
+            keys[i] = cache.key(
+                experiment="dse_point",
+                workload=point[0], n_nvdla=point[1], memory=point[2],
+                inflight=point[3], scale=point[4],
+            )
+            measured[i] = cache.get(keys[i])
+        if measured[i] is None:
+            todo.append(i)
+
+    fresh = run_points(
+        [points[i] for i in todo], _dse_point, jobs=jobs, progress=progress
+    )
+    for i, value in zip(todo, fresh):
+        measured[i] = value
+        if cache is not None and keys[i] is not None:
+            cache.put(keys[i], value, meta={"point": list(points[i])})
+
+    ideal = measured[0]["ticks"]
+    result = DSEResult(workload, n_nvdla, ideal, jobs=jobs)
+    cursor = 1
     for memory in memories:
         result.normalized[memory] = {}
         for inflight in inflight_sweep:
-            ticks = measure_exec_ticks(workload, n_nvdla, memory,
-                                       inflight, scale)
-            result.normalized[memory][inflight] = ideal / ticks
+            result.normalized[memory][inflight] = ideal / measured[cursor]["ticks"]
+            cursor += 1
+    result.point_seconds = sum(m["seconds"] for m in measured)
     result.wall_seconds = time.perf_counter() - t0
+    result.cache_misses = len(todo)
+    result.cache_hits = len(points) - len(todo)
     return result
 
 
@@ -154,17 +236,29 @@ def run_full_system(workload: str, memory: str, scale: float) -> float:
     return time.perf_counter() - t0
 
 
+def _table3_row(point: tuple) -> Table3Result:
+    """Worker: one Table 3 row.  The three timed runs stay inside one
+    worker so their *ratio* (the reported result) is taken on a single,
+    equally loaded core."""
+    workload, scale = point
+    t_alone = run_standalone(workload, scale)
+    t_perfect = run_full_system(workload, "ideal", scale)
+    t_ddr4 = run_full_system(workload, "DDR4-4ch", scale)
+    return Table3Result(workload, t_alone, t_perfect, t_ddr4)
+
+
 def run_table3(
     workloads: tuple[str, ...] = ("sanity3", "googlenet"),
     scales: dict[str, float] | None = None,
+    jobs: int = 1,
+    progress=None,
 ) -> list[Table3Result]:
-    """Reproduce Table 3: full-system overhead vs standalone simulation."""
+    """Reproduce Table 3: full-system overhead vs standalone simulation.
+
+    Rows are wall-clock measurements, so they are never cached; with
+    ``jobs > 1`` each row runs in its own worker (ratios within a row
+    remain honest — all three timings share one worker's core).
+    """
     scales = scales or DEFAULT_SCALES
-    rows = []
-    for workload in workloads:
-        scale = scales.get(workload, 1.0)
-        t_alone = run_standalone(workload, scale)
-        t_perfect = run_full_system(workload, "ideal", scale)
-        t_ddr4 = run_full_system(workload, "DDR4-4ch", scale)
-        rows.append(Table3Result(workload, t_alone, t_perfect, t_ddr4))
-    return rows
+    points = [(w, scales.get(w, 1.0)) for w in workloads]
+    return run_points(points, _table3_row, jobs=jobs, progress=progress)

@@ -1,0 +1,144 @@
+"""On-disk result cache for simulation points.
+
+Each entry is one JSON file named by the SHA-256 of its key.  The key
+is the canonical JSON of the point's parameters plus
+:func:`code_version` — a digest over every ``repro`` source file — so
+
+* re-running an unchanged figure is pure cache reads,
+* any change to the simulator invalidates every entry at once
+  (conservative, but a timing simulator has no safe finer grain), and
+* entries from different code versions coexist, so bisecting between
+  two trees does not thrash the cache.
+
+Only *deterministic* measurements belong here (tick counts, event
+totals).  Wall-clock timings (Table 2/3 overheads) are never cached —
+they are measurements of the host, not of the simulated system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["CacheStats", "ResultCache", "code_version", "default_cache_dir"]
+
+_PACKAGE_ROOT = pathlib.Path(__file__).resolve().parents[1]   # src/repro
+_CODE_VERSION: dict[str, str] = {}
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (path + contents).
+
+    Cached per-process: the tree cannot change under a running sweep
+    in any way the cache could honour.
+    """
+    cached = _CODE_VERSION.get("v")
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(_PACKAGE_ROOT.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(str(path.relative_to(_PACKAGE_ROOT)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+    version = digest.hexdigest()[:16]
+    _CODE_VERSION["v"] = version
+    return version
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``benchmarks/out/cache`` next to
+    the source tree (the repo layout), else a user cache directory."""
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return pathlib.Path(env)
+    repo_root = _PACKAGE_ROOT.parents[1]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / "out" / "cache"
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON store; see the module docstring for keying."""
+
+    root: Optional[pathlib.Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = pathlib.Path(self.root) if self.root else default_cache_dir()
+
+    def key(self, **fields: Any) -> str:
+        """Hash of the point parameters + the current code version."""
+        payload = dict(fields)
+        payload["__code__"] = code_version()
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+    def _path(self, key: str) -> pathlib.Path:
+        assert self.root is not None
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached payload, or None on miss/corruption."""
+        path = self._path(key)
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError):
+            # A torn or hand-edited file is just a miss; it will be
+            # overwritten by the fresh result.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Any, meta: Optional[dict] = None) -> None:
+        """Atomically store *payload* (write-to-temp + rename)."""
+        assert self.root is not None
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"meta": meta or {}, "payload": payload}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        assert self.root is not None
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

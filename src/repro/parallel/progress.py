@@ -1,0 +1,64 @@
+"""Progress/ETA line for long sweeps.
+
+Writes a single self-overwriting line to stderr (so piping stdout —
+the rendered figure — stays clean).  The ETA is the naive
+``elapsed / done * remaining``; DSE points vary in cost by an order of
+magnitude across the in-flight sweep, so it is an estimate, not a
+promise.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressReporter:
+    """Counts completed points and paints ``[label 3/41] 7% ... eta ...``."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total = max(total, 1)
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self._t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def eta(self) -> Optional[float]:
+        if not self.done:
+            return None
+        return self.elapsed() / self.done * (self.total - self.done)
+
+    def update(self, note: str = "") -> None:
+        self.done += 1
+        eta = self.eta()
+        eta_text = f" eta {_fmt_seconds(eta)}" if eta and self.done < self.total else ""
+        line = (
+            f"[{self.label} {self.done}/{self.total}] "
+            f"{100 * self.done // self.total}% "
+            f"elapsed {_fmt_seconds(self.elapsed())}{eta_text}"
+        )
+        if note:
+            line += f" {note}"
+        self.stream.write("\r" + line.ljust(60))
+        if self.done >= self.total:
+            self.stream.write("\n")
+        self.stream.flush()

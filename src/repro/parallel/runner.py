@@ -1,0 +1,182 @@
+"""Process-pool point runner with deterministic merge and bounded retry.
+
+Design notes
+------------
+* Results are merged **by submission index**, never by completion
+  order, so the output of ``run_points(points, fn, jobs=N)`` is the
+  same list a plain ``[fn(p) for p in points]`` produces.  Determinism
+  therefore only requires the worker itself to be deterministic.
+* Workers run the point inside a guard that converts in-worker Python
+  exceptions into a ``("err", traceback)`` value; those retry *that
+  point* up to ``max_attempts`` times and then raise
+  :class:`PointFailure`.
+* A *hard* crash (``os._exit``, segfault, OOM-kill) poisons the whole
+  ``ProcessPoolExecutor`` — every in-flight future fails with
+  ``BrokenProcessPool`` and the crashed point cannot be identified.
+  The runner then rebuilds the pool and requeues everything unfinished;
+  pool rebuilds are bounded by ``max_attempts`` before
+  :class:`WorkerCrashError` is raised.
+* ``jobs <= 1`` runs in-process (no pool, no pickling) with the same
+  retry semantics — this is both the fast path for small sweeps and
+  the reference the determinism tests compare against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+__all__ = ["PointFailure", "RunStats", "WorkerCrashError", "run_points"]
+
+
+class PointFailure(RuntimeError):
+    """A point kept raising inside the worker until attempts ran out."""
+
+    def __init__(self, point, attempts: int, last_error: str):
+        super().__init__(
+            f"point {point!r} failed {attempts} time(s); last error:\n{last_error}"
+        )
+        self.point = point
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class WorkerCrashError(RuntimeError):
+    """Worker processes kept dying until the pool-restart budget ran out."""
+
+
+@dataclass
+class RunStats:
+    """Bookkeeping for one :func:`run_points` call."""
+
+    points: int = 0
+    completed: int = 0
+    soft_retries: int = 0      # in-worker exceptions that were retried
+    pool_restarts: int = 0     # hard worker crashes that rebuilt the pool
+    attempts: dict[int, int] = field(default_factory=dict)
+
+
+def _guarded(worker: Callable, point):
+    """Run *worker* in the child, trapping Python-level failures.
+
+    Returning the traceback (rather than letting the exception
+    propagate through the future) lets the parent distinguish a
+    per-point soft failure from a pool-poisoning hard crash.
+    """
+    try:
+        return ("ok", worker(point))
+    except BaseException:  # noqa: BLE001 - the parent re-raises with context
+        return ("err", traceback.format_exc())
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits sys.modules so test-local workers
+    unpickle); fall back to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork") if "fork" in methods else None
+
+
+def _run_serial(
+    points: Sequence,
+    worker: Callable,
+    max_attempts: int,
+    progress,
+    stats: RunStats,
+) -> list:
+    results = []
+    for i, point in enumerate(points):
+        for attempt in range(1, max_attempts + 1):
+            stats.attempts[i] = attempt
+            status, payload = _guarded(worker, point)
+            if status == "ok":
+                break
+            if attempt >= max_attempts:
+                raise PointFailure(point, attempt, payload)
+            stats.soft_retries += 1
+        results.append(payload)
+        stats.completed += 1
+        if progress is not None:
+            progress.update()
+    return results
+
+
+def run_points(
+    points: Sequence,
+    worker: Callable,
+    jobs: int = 1,
+    max_attempts: int = 3,
+    progress=None,
+    stats: Optional[RunStats] = None,
+) -> list:
+    """Run ``worker(point)`` for every point; return results in order.
+
+    ``worker`` must be picklable (a module-level function) when
+    ``jobs > 1``.  ``progress``, if given, receives one ``update()``
+    call per completed point.
+    """
+    if stats is None:
+        stats = RunStats()
+    stats.points = len(points)
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    if not points:
+        return []
+    if jobs <= 1:
+        return _run_serial(points, worker, max_attempts, progress, stats)
+
+    results: list = [None] * len(points)
+    finished = [False] * len(points)
+    pending = list(range(len(points)))
+    ctx = _pool_context()
+    while pending:
+        requeue: list[int] = []
+        pool_broke = False
+        last_crash: Optional[BaseException] = None
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=ctx
+        ) as pool:
+            try:
+                futures = {
+                    pool.submit(_guarded, worker, points[i]): i for i in pending
+                }
+            except BrokenProcessPool as exc:  # pragma: no cover - rare race
+                pool_broke, last_crash = True, exc
+                futures = {}
+                requeue = list(pending)
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    status, payload = future.result()
+                except BaseException as exc:  # noqa: BLE001 - broken pool
+                    # The pool is poisoned; this future (and likely the
+                    # rest) never ran.  Requeue without charging the
+                    # point an attempt — we cannot tell who crashed.
+                    pool_broke, last_crash = True, exc
+                    requeue.append(i)
+                    continue
+                if status == "ok":
+                    results[i] = payload
+                    finished[i] = True
+                    stats.completed += 1
+                    if progress is not None:
+                        progress.update()
+                else:
+                    attempts = stats.attempts.get(i, 0) + 1
+                    stats.attempts[i] = attempts
+                    if attempts >= max_attempts:
+                        raise PointFailure(points[i], attempts, payload)
+                    stats.soft_retries += 1
+                    requeue.append(i)
+        if pool_broke:
+            stats.pool_restarts += 1
+            if stats.pool_restarts >= max_attempts:
+                raise WorkerCrashError(
+                    f"worker pool died {stats.pool_restarts} time(s); "
+                    f"{sum(1 for f in finished if not f)} point(s) unfinished"
+                ) from last_crash
+        pending = requeue
+    return results

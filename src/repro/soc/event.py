@@ -7,13 +7,19 @@ single :class:`EventQueue` owned by the :class:`Simulation`.
 
 Design notes
 ------------
-* Events are ``(tick, priority, seq, callback)`` heap entries.  ``seq`` is a
-  monotonically increasing insertion counter so that events scheduled for
-  the same tick and priority fire in insertion order (gem5 gives the same
-  guarantee), which keeps simulations deterministic.
-* Cancellation is *lazy*: :meth:`EventQueue.deschedule` marks the entry dead
-  and the main loop skips it when popped.  This keeps scheduling O(log n)
-  without a secondary index.
+* Events are plain ``(tick, priority, seq, handle)`` tuple heap entries —
+  tuples compare element-wise in C, which is the hottest comparison in the
+  whole simulator.  ``seq`` is a monotonically increasing insertion counter
+  so that (a) events scheduled for the same tick and priority fire in
+  insertion order (gem5 gives the same guarantee), which keeps simulations
+  deterministic, and (b) heap comparisons never reach the (uncomparable)
+  handle slot.
+* Cancellation is *lazy*: :meth:`EventQueue.deschedule` marks the entry's
+  :class:`_Handle` dead and the main loop skips it when popped.  This keeps
+  scheduling O(log n) without a secondary index.  A live-entry counter
+  makes ``len()``/``empty()`` O(1), and when dead entries outnumber live
+  ones (heavy ``reschedule`` churn) the heap is compacted in one
+  O(n) rebuild so it cannot grow without bound.
 * Clock domains translate between cycles and ticks.  Components that tick
   every cycle (e.g. an RTL model) register a :class:`ClockedObject`-style
   periodic event instead of rescheduling manually.
@@ -22,7 +28,6 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 # Tick base: 1 tick == 1 ps.
@@ -56,13 +61,19 @@ class EventPriority:
     MAXIMUM = 100
 
 
-@dataclass(order=True)
-class _Entry:
-    tick: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    alive: bool = field(default=True, compare=False)
+class _Handle:
+    """Mutable cancellation token riding in the last tuple slot.
+
+    The heap orders on (tick, priority, seq); ``seq`` is unique so a
+    comparison never falls through to the handle.
+    """
+
+    __slots__ = ("tick", "callback", "alive")
+
+    def __init__(self, tick: int, callback: Callable[[], None]) -> None:
+        self.tick = tick
+        self.callback = callback
+        self.alive = True
 
 
 class Event:
@@ -77,7 +88,7 @@ class Event:
     def __init__(self, callback: Callable[[], None], name: str = "event"):
         self.callback = callback
         self.name = name
-        self._entry: Optional[_Entry] = None
+        self._entry: Optional[_Handle] = None
 
     @property
     def scheduled(self) -> bool:
@@ -97,18 +108,25 @@ class Event:
 class EventQueue:
     """A deterministic binary-heap event queue."""
 
+    #: never compact heaps smaller than this — the O(n) rebuild would
+    #: dominate the work it saves
+    COMPACT_MIN = 64
+
     def __init__(self) -> None:
-        self._heap: list[_Entry] = []
+        self._heap: list[tuple[int, int, int, _Handle]] = []
         self._seq = 0
+        self._live = 0
         self.cur_tick = 0
         # Number of callbacks actually executed (dead entries excluded).
         self.executed = 0
+        # Number of threshold-triggered heap compactions (observability).
+        self.compactions = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if e.alive)
+        return self._live
 
     def empty(self) -> bool:
-        return not any(e.alive for e in self._heap)
+        return self._live == 0
 
     def schedule(
         self,
@@ -124,10 +142,11 @@ class EventQueue:
             )
         if event.scheduled:
             raise RuntimeError(f"{event.name} is already scheduled")
-        entry = _Entry(tick, priority, self._seq, event.callback)
+        handle = _Handle(tick, event.callback)
+        event._entry = handle
+        heapq.heappush(self._heap, (tick, priority, self._seq, handle))
         self._seq += 1
-        event._entry = entry
-        heapq.heappush(self._heap, entry)
+        self._live += 1
         return event
 
     def schedule_fn(
@@ -146,6 +165,21 @@ class EventQueue:
         assert event._entry is not None
         event._entry.alive = False
         event._entry = None
+        self._live -= 1
+        dead = len(self._heap) - self._live
+        if dead >= self.COMPACT_MIN and dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify (stable: seq survives).
+
+        Mutates the heap list in place — ``run``/``service_one`` hold a
+        local alias across callbacks, and a callback may deschedule its
+        way into a compaction.
+        """
+        self._heap[:] = [entry for entry in self._heap if entry[3].alive]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     def reschedule(
         self,
@@ -166,22 +200,25 @@ class EventQueue:
         interaction.  Dead (lazily-cancelled) entries at the top are
         discarded on the way.
         """
-        while self._heap and not self._heap[0].alive:
-            heapq.heappop(self._heap)
-        return self._heap[0].tick if self._heap else None
+        heap = self._heap
+        while heap and not heap[0][3].alive:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     # -- main loop -------------------------------------------------------
 
     def service_one(self) -> bool:
         """Pop and run the next live event.  Returns False if none remain."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if not entry.alive:
+        heap = self._heap
+        while heap:
+            tick, _priority, _seq, handle = heapq.heappop(heap)
+            if not handle.alive:
                 continue
-            entry.alive = False
-            self.cur_tick = entry.tick
+            handle.alive = False
+            self._live -= 1
+            self.cur_tick = tick
             self.executed += 1
-            entry.callback()
+            handle.callback()
             return True
         return False
 
@@ -194,22 +231,24 @@ class EventQueue:
         simulation can be resumed (gem5's ``simulate(n)`` semantics).
         """
         executed = 0
-        while self._heap:
-            entry = self._heap[0]
-            if not entry.alive:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            tick, _priority, _seq, handle = heap[0]
+            if not handle.alive:
+                heapq.heappop(heap)
                 continue
-            if until is not None and entry.tick >= until:
+            if until is not None and tick >= until:
                 self.cur_tick = until
                 return self.cur_tick
             if max_events is not None and executed >= max_events:
                 return self.cur_tick
-            heapq.heappop(self._heap)
-            entry.alive = False
-            self.cur_tick = entry.tick
+            heapq.heappop(heap)
+            handle.alive = False
+            self._live -= 1
+            self.cur_tick = tick
             self.executed += 1
             executed += 1
-            entry.callback()
+            handle.callback()
         if until is not None and until > self.cur_tick:
             self.cur_tick = until
         return self.cur_tick

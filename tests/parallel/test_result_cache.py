@@ -1,0 +1,86 @@
+"""ResultCache: keying, hits/misses, invalidation, corruption handling."""
+
+import json
+
+import repro.parallel.cache as cache_mod
+from repro.parallel import ResultCache, code_version
+from repro.parallel.cache import default_cache_dir
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_shape(self):
+        v = code_version()
+        assert len(v) == 16
+        int(v, 16)  # hex digest
+
+
+class TestKeying:
+    def test_same_fields_same_key(self, tmp_path):
+        c = ResultCache(tmp_path)
+        assert c.key(a=1, b="x") == c.key(b="x", a=1)
+
+    def test_different_fields_different_key(self, tmp_path):
+        c = ResultCache(tmp_path)
+        assert c.key(a=1) != c.key(a=2)
+        assert c.key(a=1) != c.key(a=1, b=0)
+
+    def test_code_change_invalidates(self, tmp_path, monkeypatch):
+        c = ResultCache(tmp_path)
+        before = c.key(a=1)
+        monkeypatch.setattr(cache_mod, "code_version", lambda: "f" * 16)
+        assert c.key(a=1) != before
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = c.key(point="p1")
+        assert c.get(key) is None
+        c.put(key, {"ticks": 123, "seconds": 0.5}, meta={"point": "p1"})
+        assert c.get(key) == {"ticks": 123, "seconds": 0.5}
+        assert c.stats.misses == 1
+        assert c.stats.hits == 1
+        assert c.stats.stores == 1
+
+    def test_entries_survive_new_instance(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put(first.key(x=1), 42)
+        second = ResultCache(tmp_path)
+        assert second.get(second.key(x=1)) == 42
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = c.key(x=1)
+        c.put(key, 1)
+        (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+        assert c.get(key) is None
+        assert c.stats.errors == 1
+
+    def test_entry_file_is_inspectable_json(self, tmp_path):
+        c = ResultCache(tmp_path)
+        key = c.key(workload="sanity3")
+        c.put(key, {"ticks": 9}, meta={"workload": "sanity3"})
+        entry = json.loads((tmp_path / f"{key}.json").read_text())
+        assert entry["meta"]["workload"] == "sanity3"
+        assert entry["payload"]["ticks"] == 9
+
+    def test_clear(self, tmp_path):
+        c = ResultCache(tmp_path)
+        for i in range(3):
+            c.put(c.key(i=i), i)
+        assert c.clear() == 3
+        assert c.get(c.key(i=0)) is None
+
+
+class TestDefaultDir:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+
+    def test_repo_layout_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        path = default_cache_dir()
+        assert path.parts[-3:] == ("benchmarks", "out", "cache")

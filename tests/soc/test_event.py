@@ -119,6 +119,77 @@ class TestCancellation:
         assert len(q) == 1
         assert not q.empty()
 
+    def test_len_tracks_fired_events(self):
+        q = EventQueue()
+        for t in (10, 20, 30):
+            q.schedule_fn(lambda: None, t)
+        q.run(until=25)
+        assert len(q) == 1
+        q.run()
+        assert len(q) == 0 and q.empty()
+
+
+class TestCompaction:
+    def test_churn_does_not_grow_heap_unboundedly(self):
+        q = EventQueue()
+        ev = Event(lambda: None, "churny")
+        q.schedule(ev, 1)
+        for t in range(2, 5002):
+            q.reschedule(ev, t)
+        # 5000 reschedules leave one live event; without compaction the
+        # heap would hold ~5000 dead entries.
+        assert len(q) == 1
+        assert len(q._heap) <= 2 * EventQueue.COMPACT_MIN
+        assert q.compactions > 0
+
+    def test_events_survive_compaction(self):
+        q = EventQueue()
+        fired = []
+        keepers = [
+            q.schedule_fn(lambda t=t: fired.append(t), 10_000 + t)
+            for t in range(5)
+        ]
+        ev = Event(lambda: fired.append(-1), "churny")
+        q.schedule(ev, 1)
+        for t in range(2, 500):
+            q.reschedule(ev, t)
+        q.deschedule(ev)
+        assert q.compactions > 0
+        assert len(q) == len(keepers)
+        q.run()
+        assert fired == list(range(5))
+
+    def test_small_heaps_never_compact(self):
+        q = EventQueue()
+        ev = Event(lambda: None, "e")
+        q.schedule(ev, 1)
+        for t in range(2, EventQueue.COMPACT_MIN // 2):
+            q.reschedule(ev, t)
+        assert q.compactions == 0
+
+    def test_deschedule_during_callback_keeps_queue_consistent(self):
+        # A callback that deschedules enough events to trigger a
+        # compaction while run() holds its heap alias.
+        q = EventQueue()
+        fired = []
+        victims = [
+            q.schedule_fn(lambda: fired.append("victim"), 1000 + t)
+            for t in range(200)
+        ]
+        survivor = q.schedule_fn(lambda: fired.append("survivor"), 5000)
+
+        def purge():
+            for v in victims:
+                q.deschedule(v)
+            fired.append("purge")
+
+        q.schedule_fn(purge, 10)
+        q.run()
+        assert fired == ["purge", "survivor"]
+        assert q.compactions > 0
+        assert q.empty()
+        assert not survivor.scheduled
+
 
 class TestRunUntil:
     def test_until_stops_before_boundary_events(self):

@@ -70,7 +70,32 @@ class TestExperimentCommands:
         rc = main([
             "dse", "--workload", "sanity3", "--nvdla", "1",
             "--inflight", "8", "--memories", "HBM", "--scale", "0.1",
+            "--no-cache",
         ])
         assert rc == 0
         out = capsys.readouterr().out
         assert "HBM" in out and "normalized" in out
+        assert "jobs=1" in out
+
+    def test_tiny_dse_cached(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = [
+            "dse", "--workload", "sanity3", "--nvdla", "1",
+            "--inflight", "8", "--memories", "HBM", "--scale", "0.1",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s), 2 miss(es)" in first   # ideal + HBM@8
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in second
+
+    def test_parallel_flags_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["dse", "--jobs", "4", "--no-cache"])
+        assert args.jobs == 4 and args.no_cache
+        args = parser.parse_args(["fig5", "--intervals", "4000,8000",
+                                  "--jobs", "2"])
+        assert args.intervals == "4000,8000" and args.jobs == 2
+        args = parser.parse_args(["table3", "--jobs", "2"])
+        assert args.jobs == 2
