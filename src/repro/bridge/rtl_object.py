@@ -31,11 +31,20 @@ from ..soc.packet import MemCmd, Packet
 from ..soc.ports import RequestPort, ResponsePort
 from ..soc.simobject import SimObject, Simulation
 from ..soc.tlb import TLB
+from ..trace import packets as pkttrace
+from ..trace.flags import debug_flag, get_chrome_tracer, tracepoint
 from .shared_library import SharedLibrary
 
 #: number of ports on each side, per the paper
 CPU_SIDE_PORTS = 2
 MEM_SIDE_PORTS = 2
+
+FLAG_RTL = debug_flag(
+    "RTL", "RTLObject: CPU-side traffic, memory-side requests, struct exchange"
+)
+FLAG_RTL_BATCH = debug_flag(
+    "RTL.Batch", "RTLObject batching decisions and quiescence skips"
+)
 
 
 class RTLObject(SimObject):
@@ -96,6 +105,9 @@ class RTLObject(SimObject):
 
         self._tick_event = Event(self._tick, f"{name}.tick")
         self._running = True
+        # Coalesced busy/batched window for the Chrome tracer:
+        # (kind, start_tick, end_tick) of the span being extended.
+        self._span: Optional[tuple[str, int, int]] = None
 
         s = self.stats
         self.st_ticks = s.scalar("ticks", "RTL model clock ticks executed")
@@ -120,6 +132,7 @@ class RTLObject(SimObject):
     def stop(self) -> None:
         """Stop ticking (end of workload)."""
         self._running = False
+        self._flush_span()
         if self._tick_event.scheduled:
             self.sim.eventq.deschedule(self._tick_event)
 
@@ -127,6 +140,23 @@ class RTLObject(SimObject):
 
     def _tick(self) -> None:
         n = self._batch_window()
+        if n > 1:
+            if FLAG_RTL_BATCH.enabled:
+                tracepoint(
+                    FLAG_RTL_BATCH, self.name,
+                    "quiescent: advancing %d RTL cycles in one pop",
+                    n, tick=self.now,
+                )
+        elif FLAG_RTL_BATCH.enabled and self.batch_cycles > 1:
+            tracepoint(
+                FLAG_RTL_BATCH, self.name,
+                "batching off this pop (quiescence bound or event horizon)",
+                tick=self.now,
+            )
+        self._note_window(
+            "batched" if n > 1 else "busy",
+            self.now, self.now + n * self.clock.period,
+        )
         in_bytes = self.build_input()
         if n > 1:
             out_bytes = self.library.tick_batch(in_bytes, n)
@@ -137,6 +167,35 @@ class RTLObject(SimObject):
         self.consume_output(self.library.output_spec.unpack(out_bytes))
         if self._running:
             self.schedule_cycles(self._tick_event, n, EventPriority.CLOCK)
+
+    # -- Chrome busy/idle windows ------------------------------------------
+
+    def _note_window(self, kind: str, start: int, end: int) -> None:
+        """Extend or flush the coalesced busy/batched span for Perfetto."""
+        tracer = get_chrome_tracer()
+        if tracer is None or not tracer.enabled:
+            self._span = None
+            return
+        span = self._span
+        if span is not None and span[0] == kind and span[2] == start:
+            self._span = (kind, span[1], end)
+            return
+        self._flush_span()
+        self._span = (kind, start, end)
+
+    def _flush_span(self) -> None:
+        span = self._span
+        self._span = None
+        if span is None:
+            return
+        tracer = get_chrome_tracer()
+        if tracer is None:
+            return
+        kind, start, end = span
+        tracer.span(
+            f"rtl {kind}", f"rtl:{self.name}", start, end,
+            args={"cycles": (end - start) // self.clock.period},
+        )
 
     def _batch_window(self) -> int:
         """RTL cycles to advance on this event-queue pop.
@@ -183,6 +242,13 @@ class RTLObject(SimObject):
     def _make_cpu_req_handler(self, port_idx: int):
         def handler(pkt: Packet) -> bool:
             pkt.dest_port = port_idx
+            if FLAG_RTL.enabled:
+                tracepoint(
+                    FLAG_RTL, self.name,
+                    "cpu_side%d %s #%d addr=%#x queued (%d pending)",
+                    port_idx, pkt.cmd.name, pkt.pkt_id, pkt.addr,
+                    len(self.cpu_req_queue) + 1, tick=self.now,
+                )
             self.cpu_req_queue.append(pkt)
             self.st_cpu_reqs.inc()
             return True  # the RTL object always sinks config traffic
@@ -212,6 +278,12 @@ class RTLObject(SimObject):
             raise RuntimeError("packet did not arrive via a cpu_side port")
         pkt.make_response(data)
         pkt.resp_tick = self.now
+        if FLAG_RTL.enabled:
+            tracepoint(
+                FLAG_RTL, self.name,
+                "cpu_side%d respond %s #%d addr=%#x",
+                port_idx, pkt.cmd.name, pkt.pkt_id, pkt.addr, tick=self.now,
+            )
         if self._blocked_resps[port_idx] or not self.cpu_side[
             port_idx
         ].send_timing_resp(pkt):
@@ -260,6 +332,15 @@ class RTLObject(SimObject):
         else:
             self.st_mem_writes.inc()
         pkt.req_tick = self.now
+        if FLAG_RTL.enabled:
+            tracepoint(
+                FLAG_RTL, self.name,
+                "mem_side%d issue %s #%d addr=%#x (inflight %d)",
+                port_idx, pkt.cmd.name, pkt.pkt_id, pkt.addr,
+                self.inflight, tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled:
+            pkt.record_hop(self.name, self.now)
         queue = self._mem_req_queue[port_idx]
         if queue or not self.mem_side[port_idx].send_timing_req(pkt):
             queue.append(pkt)
@@ -281,5 +362,14 @@ class RTLObject(SimObject):
         pkt.resp_tick = self.now
         self.inflight -= 1
         self.st_mem_resps.inc()
+        if FLAG_RTL.enabled:
+            tracepoint(
+                FLAG_RTL, self.name,
+                "mem resp %s #%d addr=%#x (inflight %d)",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, self.inflight,
+                tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled and pkt.hops:
+            pkttrace.finish(pkt, self.sim, self.now, self.name)
         self.mem_resp_queue.append(pkt)
         return True

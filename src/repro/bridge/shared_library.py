@@ -83,6 +83,10 @@ class RTLSharedLibrary(SharedLibrary):
         trace = None
         if trace_stream is not None:
             trace = VCDWriter(module, stream=trace_stream, enabled=trace_enabled)
+            # follow the global trace switch (--trace-start/--trace-end)
+            from ..trace.control import register_vcd
+
+            register_vcd(trace)
         self.module = module
         self.sim = RTLSimulator(module, trace=trace, backend=backend)
         self.ticks = 0

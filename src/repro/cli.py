@@ -89,6 +89,62 @@ def _progress(total: int, label: str):
     return ProgressReporter(total, label=label)
 
 
+def _list_debug_flags() -> None:
+    """Print every registered debug flag (``--debug-flags='?'``)."""
+    import importlib
+
+    # flags register at module import; pull in everything that has one
+    for mod in ("repro.soc.system", "repro.soc.ports", "repro.soc.tlb",
+                "repro.soc.iomaster", "repro.bridge.rtl_object",
+                "repro.trace.packets"):
+        importlib.import_module(mod)
+    from .trace.flags import all_flags
+
+    for name, flag in sorted(all_flags().items()):
+        print(f"{name:<12} {flag.desc}")
+
+
+def _setup_tracing(args: argparse.Namespace):
+    """Arm the repro.trace layer from ``--debug-flags``/``--trace-*``.
+
+    Returns the installed :class:`~repro.trace.ChromeTracer`, if any, so
+    the caller can ``finish()`` it once the command completes.
+    """
+    flag_spec = getattr(args, "debug_flags", None)
+    trace_out = getattr(args, "trace_out", None)
+    start = getattr(args, "trace_start", None)
+    end = getattr(args, "trace_end", None)
+    if flag_spec and flag_spec.strip() == "?":
+        _list_debug_flags()
+        raise SystemExit(0)
+    if not flag_spec and not trace_out and start is None and end is None:
+        return None
+    from .trace import ChromeTracer, set_pending_window
+    from .trace.flags import (
+        parse_flags,
+        set_chrome_tracer,
+        set_default_profiler,
+        set_flags,
+    )
+
+    names = parse_flags(flag_spec) if flag_spec else []
+    tracer = None
+    if trace_out:
+        tracer = ChromeTracer(path=trace_out)
+        set_chrome_tracer(tracer)
+        set_default_profiler(tracer)
+        # packet journeys are the headline spans of the JSON trace
+        if "Packet" not in names:
+            names.append("Packet")
+    if start is not None or end is not None:
+        if tracer is not None and start is not None:
+            tracer.enabled = False  # the window's open() flips it on
+        set_pending_window(names, start, end)
+    else:
+        set_flags(names)
+    return tracer
+
+
 def cmd_fig5(args: argparse.Namespace) -> int:
     from .dse import render_fig5, run_fig5, run_fig5_series
 
@@ -177,6 +233,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan independent simulations over N "
                             "worker processes (default 1 = serial)")
 
+    def add_trace_opts(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group("tracing (repro.trace)")
+        g.add_argument("--debug-flags", default=None,
+                       metavar="FLAG[,FLAG...]",
+                       help="enable tracepoints, e.g. Cache,DRAM,RTL; "
+                            "a name also enables its dotted children "
+                            "(Cache lights Cache.MSHR)")
+        g.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON "
+                            "(load in ui.perfetto.dev)")
+        g.add_argument("--trace-start", type=int, default=None,
+                       metavar="CYC",
+                       help="open the trace window at this cycle "
+                            "(default: traced from the start)")
+        g.add_argument("--trace-end", type=int, default=None,
+                       metavar="CYC",
+                       help="close the trace window at this cycle")
+
     p = sub.add_parser("fig5", help="PMU vs gem5 IPC series")
     p.add_argument("--n", type=int, default=200, help="sort size")
     p.add_argument("--intervals", "--interval", default="10000",
@@ -184,11 +258,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling interval(s); several run in parallel")
     p.add_argument("--rows", type=int, default=40)
     add_jobs(p)
+    add_trace_opts(p)
     p.set_defaults(fn=cmd_fig5)
 
     p = sub.add_parser("table2", help="PMU/waveform overheads")
     p.add_argument("--sizes", default="60,150,300")
     add_jobs(p)
+    add_trace_opts(p)
     p.set_defaults(fn=cmd_table2)
 
     p = sub.add_parser("dse", help="NVDLA design-space exploration")
@@ -203,17 +279,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore and do not write the on-disk point cache "
                         "(benchmarks/out/cache)")
     add_jobs(p)
+    add_trace_opts(p)
     p.set_defaults(fn=cmd_dse)
 
     p = sub.add_parser("table3", help="full-system vs standalone overhead")
     add_jobs(p)
+    add_trace_opts(p)
     p.set_defaults(fn=cmd_table3)
     return parser
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    tracer = _setup_tracing(args)
+    try:
+        return args.fn(args)
+    finally:
+        if tracer is not None:
+            path = tracer.finish()
+            if path:
+                print(f"trace written to {path}", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,7 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -82,9 +83,35 @@ class ResultCache:
 
     root: Optional[pathlib.Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
+    #: ``*.tmp`` files older than this are orphans of a killed writer;
+    #: younger ones may be another live worker's in-flight write.
+    tmp_max_age_s: float = 3600.0
 
     def __post_init__(self) -> None:
         self.root = pathlib.Path(self.root) if self.root else default_cache_dir()
+        self.reap_stale_tmp()
+
+    def reap_stale_tmp(self) -> int:
+        """Remove write-temp files older than :attr:`tmp_max_age_s`.
+
+        A crashed or killed worker leaves its ``mkstemp`` file behind
+        (the ``os.replace`` never ran); without this the cache directory
+        accumulates them forever.  Returns the number removed.
+        """
+        assert self.root is not None
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - self.tmp_max_age_s
+        removed = 0
+        for path in self.root.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                # raced with another reaper or a live writer: not ours
+                continue
+        return removed
 
     def key(self, **fields: Any) -> str:
         """Hash of the point parameters + the current code version."""
@@ -134,11 +161,13 @@ class ResultCache:
         self.stats.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and any leftover temp file); returns the
+        number removed."""
         assert self.root is not None
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
+            for pattern in ("*.json", "*.tmp"):
+                for path in self.root.glob(pattern):
+                    path.unlink(missing_ok=True)
+                    removed += 1
         return removed

@@ -38,6 +38,7 @@ class ProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.done = 0
         self._t0 = time.perf_counter()
+        self._last_len = 0
 
     def elapsed(self) -> float:
         return time.perf_counter() - self._t0
@@ -50,7 +51,13 @@ class ProgressReporter:
     def update(self, note: str = "") -> None:
         self.done += 1
         eta = self.eta()
-        eta_text = f" eta {_fmt_seconds(eta)}" if eta and self.done < self.total else ""
+        # `eta is not None`, not `eta`: an instant point legitimately
+        # yields an ETA of exactly 0.0 and must still be shown.
+        eta_text = (
+            f" eta {_fmt_seconds(eta)}"
+            if eta is not None and self.done < self.total
+            else ""
+        )
         line = (
             f"[{self.label} {self.done}/{self.total}] "
             f"{100 * self.done // self.total}% "
@@ -58,7 +65,10 @@ class ProgressReporter:
         )
         if note:
             line += f" {note}"
-        self.stream.write("\r" + line.ljust(60))
+        # Pad to the previous paint's length so a long note from the
+        # last update cannot leave stale characters on screen.
+        self.stream.write("\r" + line.ljust(max(60, self._last_len)))
+        self._last_len = len(line)
         if self.done >= self.total:
             self.stream.write("\n")
         self.stream.flush()

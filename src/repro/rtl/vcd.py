@@ -60,6 +60,7 @@ class VCDWriter:
         self._ids: dict[int, str] = {}       # signal index -> vcd id
         self._last: dict[int, Optional[int]] = {}
         self._header_written = False
+        self._dumpvars_written = False
         self._last_time: Optional[int] = None
 
     # -- control -----------------------------------------------------------
@@ -100,13 +101,16 @@ class VCDWriter:
             self.write_header()
         out: list[str] = []
         for sig in self.module.signals.values():
-            v = values[sig.index]
+            # Clip to the declared width before diffing/emitting: a
+            # negative or over-width Python int would otherwise produce
+            # an out-of-spec value line like ``b-101 !``.
+            v = values[sig.index] & ((1 << sig.width) - 1)
             if self._last[sig.index] == v:
                 continue
             self._last[sig.index] = v
             vid = self._ids[sig.index]
             if sig.width == 1:
-                out.append(f"{v & 1}{vid}")
+                out.append(f"{v}{vid}")
             else:
                 out.append(f"b{v:b} {vid}")
         if not out:
@@ -114,6 +118,15 @@ class VCDWriter:
         if self._last_time != time:
             self.stream.write(f"#{time}\n")
             self._last_time = time
+        if not self._dumpvars_written:
+            # First sample: every signal differs from its (None) prior
+            # value, so `out` covers the full design — exactly the
+            # initial-value block the spec wants inside $dumpvars.
+            self._dumpvars_written = True
+            self.stream.write("$dumpvars\n")
+            self.stream.write("\n".join(out))
+            self.stream.write("\n$end\n")
+            return
         self.stream.write("\n".join(out))
         self.stream.write("\n")
 

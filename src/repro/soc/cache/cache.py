@@ -17,12 +17,19 @@ from __future__ import annotations
 from collections import OrderedDict, deque
 from typing import Optional
 
+from ...trace import packets as pkttrace
+from ...trace.flags import debug_flag, tracepoint
 from ..event import EventPriority
 from ..packet import MemCmd, Packet
 from ..ports import RequestPort, ResponsePort
 from ..simobject import SimObject, Simulation
 
 BLOCK = 64
+
+FLAG_CACHE = debug_flag("Cache", "cache accesses: hits, misses, fills")
+FLAG_MSHR = debug_flag(
+    "Cache.MSHR", "MSHR allocation, coalescing and capacity rejects"
+)
 
 
 class MSHR:
@@ -136,6 +143,8 @@ class Cache(SimObject):
             )
         block_addr = pkt.block_addr(BLOCK)
         delay = self.clock.cycles_to_ticks(self.latency_cycles)
+        if pkttrace.FLAG_PACKET.enabled:
+            pkt.record_hop(self.name, self.now)
 
         if pkt.cmd is MemCmd.WritebackDirty:
             # Absorb an upstream writeback: mark dirty if present, else
@@ -158,6 +167,13 @@ class Cache(SimObject):
             if len(self._mshrs) >= self.mshr_cap:
                 self.st_mshr_rejects.inc()
                 self._need_retry = True
+                if FLAG_MSHR.enabled:
+                    tracepoint(
+                        FLAG_MSHR, self.name,
+                        "reject %s addr=%#x: all %d MSHRs busy",
+                        pkt.cmd.name, pkt.addr, self.mshr_cap,
+                        tick=self.now,
+                    )
                 return False
 
         # Writes update the functional image as soon as they are seen.
@@ -168,6 +184,11 @@ class Cache(SimObject):
             )
 
         if hit:
+            if FLAG_CACHE.enabled:
+                tracepoint(
+                    FLAG_CACHE, self.name, "hit %s #%d addr=%#x",
+                    pkt.cmd.name, pkt.pkt_id, pkt.addr, tick=self.now,
+                )
             self.lookup(pkt.addr)  # LRU update
             self.st_hits.inc()
             if block_addr in self._prefetched:
@@ -185,6 +206,12 @@ class Cache(SimObject):
             return True
 
         # Miss.
+        if FLAG_CACHE.enabled:
+            tracepoint(
+                FLAG_CACHE, self.name, "miss %s #%d addr=%#x block=%#x",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, block_addr,
+                tick=self.now,
+            )
         self.st_misses.inc()
         for listener in self.miss_listeners:
             listener(pkt)
@@ -193,6 +220,13 @@ class Cache(SimObject):
         mshr = self._mshrs.get(block_addr)
         if mshr is not None:
             self.st_coalesced.inc()
+            if FLAG_MSHR.enabled:
+                tracepoint(
+                    FLAG_MSHR, self.name,
+                    "coalesce #%d into MSHR block=%#x (%d targets)",
+                    pkt.pkt_id, block_addr, len(mshr.targets) + 1,
+                    tick=self.now,
+                )
             mshr.targets.append(pkt)
             if not pkt.is_read:
                 mshr.is_prefetch = False
@@ -200,6 +234,12 @@ class Cache(SimObject):
         mshr = MSHR(block_addr, pkt.cmd is MemCmd.PrefetchReq, self.now)
         mshr.targets.append(pkt)
         self._mshrs[block_addr] = mshr
+        if FLAG_MSHR.enabled:
+            tracepoint(
+                FLAG_MSHR, self.name,
+                "allocate MSHR block=%#x (%d/%d busy)",
+                block_addr, len(self._mshrs), self.mshr_cap, tick=self.now,
+            )
         fill = Packet(MemCmd.ReadReq, block_addr, BLOCK, requestor=self.name)
         fill.meta["fill_for"] = self.name
         self.sim.eventq.schedule_fn(
@@ -234,6 +274,17 @@ class Cache(SimObject):
             # A response to a forwarded (uncacheable/writeback) request.
             self._respond(pkt, already_response=True)
             return True
+        if FLAG_CACHE.enabled:
+            tracepoint(
+                FLAG_CACHE, self.name,
+                "fill block=%#x (%d targets%s)",
+                block_addr, len(mshr.targets),
+                ", prefetch" if mshr.is_prefetch else "",
+                tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled and pkt.hops:
+            # the cache-issued fill request terminates here
+            pkttrace.finish(pkt, self.sim, self.now, self.name)
         self._insert(block_addr, prefetched=mshr.is_prefetch)
         latency = (self.now - mshr.issued_tick) // self.clock.period
         if not mshr.is_prefetch:

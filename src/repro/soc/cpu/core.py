@@ -17,12 +17,18 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from ...trace import packets as pkttrace
+from ...trace.flags import debug_flag, tracepoint
 from ..event import Event, EventPriority
 from ..packet import MemCmd, Packet
 from ..ports import RequestPort
 from ..simobject import SimObject, Simulation
 from . import uop as U
 from .uop import UopStream
+
+FLAG_CPU = debug_flag(
+    "CPU", "core pipeline: memory issue/completion, sleep, interrupts"
+)
 
 
 class EventWire:
@@ -221,6 +227,11 @@ class OoOCore(SimObject):
             self._draining_for_irq = True
             return True  # drain before vectoring (precise interrupts)
         handler = self._pending_irqs.popleft()
+        if FLAG_CPU.enabled:
+            tracepoint(
+                FLAG_CPU, self.name, "vector to interrupt handler (cycle %d)",
+                self._cycle, tick=self.now,
+            )
         self._draining_for_irq = False
         assert self.stream is not None
         self._stream_stack.append(self.stream)
@@ -313,6 +324,13 @@ class OoOCore(SimObject):
         # state belongs to the workload layer (ISA interpreter, host
         # apps), which has already applied the architectural effect.
         pkt = Packet(cmd, addr, size, requestor=self.name)
+        if FLAG_CPU.enabled:
+            tracepoint(
+                FLAG_CPU, self.name, "issue %s #%d addr=%#x (cycle %d)",
+                cmd.name, pkt.pkt_id, addr, self._cycle, tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled:
+            pkt.record_hop(self.name, self.now)
         self._inflight[pkt.pkt_id] = entry
         if not self.dcache_port.send_timing_req(pkt):
             self._mem_blocked_pkt = pkt
@@ -343,11 +361,22 @@ class OoOCore(SimObject):
         entry = self._inflight.pop(pkt.pkt_id, None)
         if entry is not None:
             entry.done = True
+        if FLAG_CPU.enabled:
+            tracepoint(
+                FLAG_CPU, self.name, "complete %s #%d addr=%#x",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled and pkt.hops:
+            pkttrace.finish(pkt, self.sim, self.now, self.name)
         return True
 
     # -- sleep / finish -----------------------------------------------------------
 
     def _enter_sleep(self, cycles: int) -> None:
+        if FLAG_CPU.enabled:
+            tracepoint(
+                FLAG_CPU, self.name, "sleep %d cycles", cycles, tick=self.now,
+            )
         self._sleeping = True
         self.st_sleep_cycles.inc(cycles)
         self.st_cycles.inc(cycles)

@@ -28,7 +28,10 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, Optional
+
+from ..trace.flags import get_default_profiler
 
 # Tick base: 1 tick == 1 ps.
 TICKS_PER_SECOND = 10**12
@@ -68,12 +71,15 @@ class _Handle:
     comparison never falls through to the handle.
     """
 
-    __slots__ = ("tick", "callback", "alive")
+    __slots__ = ("tick", "callback", "alive", "name")
 
-    def __init__(self, tick: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self, tick: int, callback: Callable[[], None], name: str = "event"
+    ) -> None:
         self.tick = tick
         self.callback = callback
         self.alive = True
+        self.name = name
 
 
 class Event:
@@ -121,6 +127,11 @@ class EventQueue:
         self.executed = 0
         # Number of threshold-triggered heap compactions (observability).
         self.compactions = 0
+        # Optional host-time self-profiler (repro.trace): an object with
+        # host_event(name, tick, t0_seconds, dur_seconds).  New queues
+        # adopt the process-wide default installed by the CLI; None (the
+        # default) keeps the dispatch loop's fast path.
+        self.profiler = get_default_profiler()
 
     def __len__(self) -> int:
         return self._live
@@ -142,7 +153,7 @@ class EventQueue:
             )
         if event.scheduled:
             raise RuntimeError(f"{event.name} is already scheduled")
-        handle = _Handle(tick, event.callback)
+        handle = _Handle(tick, event.callback, event.name)
         event._entry = handle
         heapq.heappush(self._heap, (tick, priority, self._seq, handle))
         self._seq += 1
@@ -218,7 +229,13 @@ class EventQueue:
             self._live -= 1
             self.cur_tick = tick
             self.executed += 1
-            handle.callback()
+            prof = self.profiler
+            if prof is None:
+                handle.callback()
+            else:
+                t0 = perf_counter()
+                handle.callback()
+                prof.host_event(handle.name, tick, t0, perf_counter() - t0)
             return True
         return False
 
@@ -248,7 +265,13 @@ class EventQueue:
             self.cur_tick = tick
             self.executed += 1
             executed += 1
-            handle.callback()
+            prof = self.profiler
+            if prof is None:
+                handle.callback()
+            else:
+                t0 = perf_counter()
+                handle.callback()
+                prof.host_event(handle.name, tick, t0, perf_counter() - t0)
         if until is not None and until > self.cur_tick:
             self.cur_tick = until
         return self.cur_tick

@@ -14,10 +14,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from ...trace import packets as pkttrace
+from ...trace.flags import debug_flag, tracepoint
 from ..event import EventPriority
 from ..packet import Packet
 from ..ports import RequestPort, ResponsePort
 from ..simobject import SimObject, Simulation
+
+FLAG_XBAR = debug_flag("Xbar", "crossbar routing, queueing and rejects")
 
 
 @dataclass(frozen=True)
@@ -125,7 +129,23 @@ class Crossbar(SimObject):
             self._retry_rejected = True
             if cpu_idx not in self._pending_retries:
                 self._pending_retries.append(cpu_idx)
+            if FLAG_XBAR.enabled:
+                tracepoint(
+                    FLAG_XBAR, self.name,
+                    "reject %s #%d addr=%#x: mem%d queue full (%d)",
+                    pkt.cmd.name, pkt.pkt_id, pkt.addr, mem_idx,
+                    len(queue), tick=self.now,
+                )
             return False
+        if FLAG_XBAR.enabled:
+            tracepoint(
+                FLAG_XBAR, self.name,
+                "route %s #%d addr=%#x cpu%d -> mem%d (depth %d)",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, cpu_idx, mem_idx,
+                len(queue) + 1, tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled:
+            pkt.record_hop(self.name, self.now)
         pkt.push_state(("xbar_src", cpu_idx))
         self.st_reqs.inc()
         queue.append(pkt)
@@ -190,6 +210,12 @@ class Crossbar(SimObject):
     def _recv_resp(self, pkt: Packet) -> bool:
         tag, cpu_idx = pkt.pop_state()
         assert tag == "xbar_src"
+        if FLAG_XBAR.enabled:
+            tracepoint(
+                FLAG_XBAR, self.name,
+                "resp %s #%d addr=%#x -> cpu%d",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, cpu_idx, tick=self.now,
+            )
         self.st_resps.inc()
         self._resp_q[cpu_idx].append(pkt)
         self._kick_resp(cpu_idx)

@@ -12,9 +12,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from ..trace import packets as pkttrace
+from ..trace.flags import debug_flag, tracepoint
 from .packet import MemCmd, Packet
 from .ports import RequestPort
 from .simobject import SimObject, Simulation
+
+FLAG_IO = debug_flag("IO", "IOMaster MMIO issue/completion")
 
 
 class IOMaster(SimObject):
@@ -70,6 +74,13 @@ class IOMaster(SimObject):
         if self._outstanding is not None or not self._queue:
             return
         pkt, callback = self._queue[0]
+        if FLAG_IO.enabled:
+            tracepoint(
+                FLAG_IO, self.name, "issue %s #%d addr=%#x",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled:
+            pkt.record_hop(self.name, self.now)
         if self.port.send_timing_req(pkt):
             self._queue.popleft()
             self._outstanding = (pkt, callback)
@@ -82,6 +93,13 @@ class IOMaster(SimObject):
         out_pkt, callback = self._outstanding
         assert out_pkt.pkt_id == pkt.pkt_id, "MMIO responses must be in order"
         self._outstanding = None
+        if FLAG_IO.enabled:
+            tracepoint(
+                FLAG_IO, self.name, "complete %s #%d addr=%#x",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled and pkt.hops:
+            pkttrace.finish(pkt, self.sim, self.now, self.name)
         if callback is not None:
             callback(pkt)
         self._try_issue()

@@ -22,6 +22,8 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ...trace import packets as pkttrace
+from ...trace.flags import debug_flag, tracepoint
 from ..event import EventPriority
 from ..packet import Packet
 from ..ports import ResponsePort
@@ -29,6 +31,10 @@ from ..simobject import SimObject, Simulation
 from .physmem import PhysicalMemory
 
 BLOCK = 64  # interleave granularity / burst size in bytes
+
+FLAG_DRAM = debug_flag(
+    "DRAM", "DRAM controller: queueing, row hits/conflicts, completions"
+)
 
 
 @dataclass(frozen=True)
@@ -327,7 +333,24 @@ class DRAMController(SimObject):
             self.st_rejected.inc()
             self._retry_rejected = True
             self._retry_pending.add(port_idx)
+            if FLAG_DRAM.enabled:
+                tracepoint(
+                    FLAG_DRAM, self.name,
+                    "reject %s #%d addr=%#x: ch%d queue full",
+                    pkt.cmd.name, pkt.pkt_id, pkt.addr, ch.index,
+                    tick=self.now,
+                )
             return False
+        if FLAG_DRAM.enabled:
+            bank, row = ch.decode(pkt.addr)
+            tracepoint(
+                FLAG_DRAM, self.name,
+                "enqueue %s #%d addr=%#x ch%d bank%d row%d (rq=%d wq=%d)",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr, ch.index, bank, row,
+                len(ch.read_q), len(ch.write_q), tick=self.now,
+            )
+        if pkttrace.FLAG_PACKET.enabled:
+            pkt.record_hop(self.name, self.now)
         pkt.meta["dram_enq"] = self.now
         pkt.meta["dram_port"] = port_idx
         if pkt.is_read:
@@ -345,6 +368,13 @@ class DRAMController(SimObject):
         return True
 
     def complete_read(self, pkt: Packet) -> None:
+        if FLAG_DRAM.enabled:
+            tracepoint(
+                FLAG_DRAM, self.name,
+                "complete %s #%d addr=%#x after %d ns",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr,
+                (self.now - pkt.meta["dram_enq"]) // 1000, tick=self.now,
+            )
         self.st_read_latency.sample(
             (self.now - pkt.meta["dram_enq"]) // 1000
         )

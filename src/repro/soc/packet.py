@@ -65,6 +65,7 @@ class Packet:
     __slots__ = (
         "cmd", "addr", "size", "data", "pkt_id", "req_tick", "resp_tick",
         "requestor", "sender_states", "dest_port", "vaddr", "meta",
+        "birth_tick", "hops",
     )
 
     def __init__(
@@ -94,6 +95,11 @@ class Packet:
         self.vaddr = vaddr
         # Free-form metadata (e.g. NVDLA stream tags, PMU register ids).
         self.meta: dict[str, Any] = {}
+        # Lifetime tracking (repro.trace, "Packet" debug flag): birth
+        # tick and (component, tick) hop stamps.  None until the first
+        # record_hop so untraced runs pay no per-packet allocation.
+        self.birth_tick: Optional[int] = None
+        self.hops: Optional[list[tuple[str, int]]] = None
 
     # -- classification ----------------------------------------------------
 
@@ -119,6 +125,19 @@ class Packet:
 
     def block_addr(self, block_size: int = 64) -> int:
         return self.addr & ~(block_size - 1)
+
+    # -- lifetime tracking -------------------------------------------------
+
+    def record_hop(self, where: str, tick: int) -> None:
+        """Stamp this packet's arrival at *where*.
+
+        Callers guard with the ``Packet`` debug flag, so untraced runs
+        never reach this.  The first hop fixes the birth tick.
+        """
+        if self.hops is None:
+            self.hops = []
+            self.birth_tick = tick
+        self.hops.append((where, tick))
 
     # -- sender state ------------------------------------------------------
 

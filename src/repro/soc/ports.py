@@ -20,7 +20,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Protocol
 
+from ..trace.flags import debug_flag, tracepoint
 from .packet import Packet
+
+FLAG_PORTS = debug_flag("Ports", "timing-port handshake (send/reject/retry)")
 
 
 class PortOwner(Protocol):  # pragma: no cover - structural typing only
@@ -87,6 +90,12 @@ class RequestPort(_Port):
         accepted = peer.handle_req(pkt)
         if not accepted:
             self._waiting_retry = True
+        if FLAG_PORTS.enabled:
+            tracepoint(
+                FLAG_PORTS, self.name, "req %s #%d addr=%#x -> %s",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr,
+                "accepted" if accepted else "REJECTED",
+            )
         return accepted
 
     def send_functional(self, pkt: Packet) -> None:
@@ -151,6 +160,12 @@ class ResponsePort(_Port):
         accepted = peer.handle_resp(pkt)
         if not accepted:
             self._resp_waiting_retry = True
+        if FLAG_PORTS.enabled:
+            tracepoint(
+                FLAG_PORTS, self.name, "resp %s #%d addr=%#x -> %s",
+                pkt.cmd.name, pkt.pkt_id, pkt.addr,
+                "accepted" if accepted else "REJECTED",
+            )
         return accepted
 
     def send_retry_req(self) -> None:

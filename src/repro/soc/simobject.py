@@ -54,6 +54,12 @@ class Simulation:
         for obj in self.objects:
             obj.startup()
         self._started = True
+        # Arm any trace window parked by the CLI (--trace-start/--end);
+        # no-op unless one is pending.  Imported late: trace.control is
+        # glue above the core and must not be a hard import dependency.
+        from ..trace.control import attach_pending
+
+        attach_pending(self)
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         self.startup()

@@ -12,7 +12,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Optional
 
+from ..trace.flags import debug_flag, tracepoint
 from .simobject import SimObject, Simulation
+
+FLAG_TLB = debug_flag("TLB", "TLB lookups: hits, walks, fallbacks")
 
 
 class PageTable:
@@ -72,13 +75,25 @@ class TLB(SimObject):
         if vpn in self._tlb:
             self._tlb.move_to_end(vpn)
             self.hits.inc()
-            return (self._tlb[vpn] << page_bits) | offset, 0
+            paddr = (self._tlb[vpn] << page_bits) | offset
+            if FLAG_TLB.enabled:
+                tracepoint(
+                    FLAG_TLB, self.name, "hit vaddr=%#x -> paddr=%#x",
+                    vaddr, paddr, tick=self.sim.now,
+                )
+            return paddr, 0
         self.misses.inc()
         paddr = self.page_table.lookup(vaddr)
         if paddr is None:
             if not self.identity_fallback:
                 raise KeyError(f"unmapped virtual address {vaddr:#x}")
             paddr = vaddr
+        if FLAG_TLB.enabled:
+            tracepoint(
+                FLAG_TLB, self.name,
+                "miss vaddr=%#x -> paddr=%#x (walk %d cycles)",
+                vaddr, paddr, self.walk_cycles, tick=self.sim.now,
+            )
         self._tlb[vpn] = paddr >> page_bits
         if len(self._tlb) > self.entries:
             self._tlb.popitem(last=False)

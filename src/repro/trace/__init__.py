@@ -1,0 +1,57 @@
+"""repro.trace — unified tracing & debug-flag layer.
+
+The shared observability substrate (gem5's ``--debug-flags`` /
+``DPRINTF`` / trace framework, paper §4 + Table 2):
+
+* :mod:`repro.trace.flags` — hierarchical debug-flag registry with
+  dotted-name inheritance and near-zero disabled cost, plus the
+  ``tracepoint`` call threaded through every major SoC component;
+* :mod:`repro.trace.chrome` — Chrome trace-event JSON exporter
+  (``--trace-out=trace.json``, loadable in Perfetto) rendering both
+  simulated-time spans and host-time event-callback self-profiling;
+* :mod:`repro.trace.packets` — packet-lifetime tracking (birth tick,
+  per-hop timestamps, per-hop latency ``Distribution`` histograms);
+* :mod:`repro.trace.control` — runtime on/off trace windows
+  (``--trace-start``/``--trace-end``) that flip debug flags, the Chrome
+  tracer and every registered ``VCDWriter`` from one switch.
+"""
+
+from .chrome import ChromeTracer
+from .control import TraceWindow, register_vcd, set_pending_window
+from .flags import (
+    DebugFlag,
+    all_flags,
+    debug_flag,
+    disable,
+    enable,
+    enabled_flags,
+    get_chrome_tracer,
+    parse_flags,
+    reset_flags,
+    set_chrome_tracer,
+    set_default_profiler,
+    set_flags,
+    set_sink,
+    tracepoint,
+)
+
+__all__ = [
+    "ChromeTracer",
+    "DebugFlag",
+    "TraceWindow",
+    "all_flags",
+    "debug_flag",
+    "disable",
+    "enable",
+    "enabled_flags",
+    "get_chrome_tracer",
+    "parse_flags",
+    "register_vcd",
+    "reset_flags",
+    "set_chrome_tracer",
+    "set_default_profiler",
+    "set_flags",
+    "set_pending_window",
+    "set_sink",
+    "tracepoint",
+]

@@ -1,0 +1,216 @@
+"""Hierarchical debug-flag registry and ``DPRINTF``-style tracepoints.
+
+The gem5 analogue of ``--debug-flags`` + ``DPRINTF``.  Components
+register a module-level flag once at import time::
+
+    from ..trace.flags import debug_flag, tracepoint
+
+    FLAG_CACHE = debug_flag("Cache", "cache hit/miss/fill decisions")
+
+and guard every call site with a plain attribute check, which is the
+whole cost of the machinery when tracing is off::
+
+    if FLAG_CACHE.enabled:
+        tracepoint(FLAG_CACHE, self.name, "miss addr=%#x", pkt.addr,
+                   tick=self.now)
+
+Flag names are hierarchical with dotted inheritance: enabling ``Cache``
+also enables ``Cache.MSHR`` (and any later-registered ``Cache.*``),
+exactly like gem5's compound flags.  Enabling is order-independent:
+names may be enabled before the module that registers them is imported.
+
+The module also carries two process-wide hooks the rest of the tracing
+layer hangs off:
+
+* a **Chrome tracer** (:func:`set_chrome_tracer`) — when installed,
+  every fired tracepoint is mirrored as an instant event into the
+  Chrome trace-event JSON, and packet/RTL span emitters pick it up;
+* a **default event profiler** (:func:`set_default_profiler`) — newly
+  built :class:`~repro.soc.event.EventQueue` instances adopt it for
+  host-time self-profiling of event callbacks.
+
+This module deliberately imports nothing from ``repro.soc`` so that any
+component can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterable, Optional, TextIO
+
+__all__ = [
+    "DebugFlag",
+    "all_flags",
+    "debug_flag",
+    "disable",
+    "enable",
+    "enabled_flags",
+    "get_chrome_tracer",
+    "get_default_profiler",
+    "parse_flags",
+    "reset_flags",
+    "set_chrome_tracer",
+    "set_default_profiler",
+    "set_flags",
+    "set_sink",
+    "tracepoint",
+]
+
+
+class DebugFlag:
+    """One named switch.  ``enabled`` is a plain attribute: the hot-path
+    guard ``if FLAG.enabled:`` costs one load and one branch."""
+
+    __slots__ = ("name", "desc", "enabled")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.enabled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "on" if self.enabled else "off"
+        return f"<DebugFlag {self.name} {state}>"
+
+
+_registry: dict[str, DebugFlag] = {}
+#: names explicitly enabled (possibly before registration); a flag is lit
+#: iff its own name or any dotted ancestor is in this set
+_enabled_names: set[str] = set()
+_sink: TextIO = sys.stderr
+_chrome = None      # duck-typed ChromeTracer (avoid importing .chrome here)
+_profiler = None    # duck-typed host profiler adopted by new EventQueues
+
+
+def _ancestors(name: str) -> Iterable[str]:
+    """``"A.B.C"`` -> ``"A.B.C", "A.B", "A"``."""
+    yield name
+    while "." in name:
+        name = name.rsplit(".", 1)[0]
+        yield name
+
+
+def _is_lit(name: str) -> bool:
+    return any(a in _enabled_names for a in _ancestors(name))
+
+
+def debug_flag(name: str, desc: str = "") -> DebugFlag:
+    """Register (or fetch) the flag *name*.  Idempotent per name."""
+    if not name or name != name.strip() or " " in name:
+        raise ValueError(f"invalid debug-flag name {name!r}")
+    flag = _registry.get(name)
+    if flag is None:
+        flag = DebugFlag(name, desc)
+        flag.enabled = _is_lit(name)
+        _registry[name] = flag
+    elif desc and not flag.desc:
+        flag.desc = desc
+    return flag
+
+
+def all_flags() -> dict[str, DebugFlag]:
+    return dict(_registry)
+
+
+def enabled_flags() -> list[str]:
+    return sorted(n for n, f in _registry.items() if f.enabled)
+
+
+def parse_flags(spec: str) -> list[str]:
+    """Split a ``--debug-flags=Cache,DRAM,RTL`` value."""
+    return [part.strip() for part in spec.split(",") if part.strip()]
+
+
+def enable(name: str, strict: bool = False) -> None:
+    """Enable *name* and every registered descendant (``name.*``).
+
+    The name is remembered, so flags registered later under it light up
+    at registration time.  ``strict`` raises on names that match no
+    registered flag (useful in tests; the CLI stays permissive because
+    components register lazily at import).
+    """
+    if strict and not any(
+        n == name or n.startswith(name + ".") for n in _registry
+    ):
+        known = ", ".join(sorted(_registry)) or "<none registered>"
+        raise ValueError(f"unknown debug flag {name!r}; known flags: {known}")
+    _enabled_names.add(name)
+    for n, flag in _registry.items():
+        if n == name or n.startswith(name + "."):
+            flag.enabled = True
+
+
+def disable(name: str) -> None:
+    """Disable *name* and descendants (and forget the sticky enable)."""
+    _enabled_names.discard(name)
+    for n, flag in _registry.items():
+        if n == name or n.startswith(name + "."):
+            flag.enabled = _is_lit(n)
+
+
+def set_flags(names: Iterable[str], strict: bool = False) -> None:
+    """Make exactly *names* (plus their descendants) the enabled set."""
+    for sticky in list(_enabled_names):
+        disable(sticky)
+    for name in names:
+        enable(name, strict=strict)
+
+
+def reset_flags() -> None:
+    """Disable everything and drop sticky enables (test isolation)."""
+    _enabled_names.clear()
+    for flag in _registry.values():
+        flag.enabled = False
+
+
+# -- sinks and hooks --------------------------------------------------------
+
+
+def set_sink(stream: Optional[TextIO]) -> None:
+    """Redirect tracepoint text output (None restores stderr)."""
+    global _sink
+    _sink = stream if stream is not None else sys.stderr
+
+
+def set_chrome_tracer(tracer) -> None:
+    """Install (or clear, with None) the process-wide Chrome tracer."""
+    global _chrome
+    _chrome = tracer
+
+
+def get_chrome_tracer():
+    return _chrome
+
+
+def set_default_profiler(profiler) -> None:
+    """Profiler adopted by EventQueues built after this call."""
+    global _profiler
+    _profiler = profiler
+
+
+def get_default_profiler():
+    return _profiler
+
+
+# -- the tracepoint ---------------------------------------------------------
+
+
+def tracepoint(
+    flag: DebugFlag,
+    who: str,
+    fmt: str,
+    *args,
+    tick: Optional[int] = None,
+) -> None:
+    """Emit one trace line (gem5 ``DPRINTF``).
+
+    Callers guard with ``if flag.enabled:`` so a disabled flag costs one
+    attribute check; the re-check here only covers unguarded callers.
+    """
+    if not flag.enabled:
+        return
+    msg = (fmt % args) if args else fmt
+    when = "-" if tick is None else str(tick)
+    _sink.write(f"{when:>12}: {who}: [{flag.name}] {msg}\n")
+    if _chrome is not None and tick is not None:
+        _chrome.instant(msg, track=flag.name, tick=tick, args={"who": who})

@@ -1,0 +1,81 @@
+"""Packet-lifetime tracking: hop timestamps, latency histograms, spans.
+
+When the ``Packet`` debug flag is on (it is switched on automatically
+whenever a Chrome tracer is installed), components stamp every packet
+they touch via :meth:`Packet.record_hop`.  When a packet reaches a
+terminal consumer (a core, the IOMaster, an RTLObject, a cache fill)
+the consumer calls :func:`finish`, which
+
+* samples each hop→hop latency into a per-component
+  :class:`~repro.soc.stats.Distribution` under a ``pkttrace`` group on
+  the simulation's root stats — so per-hop latency histograms land in
+  ``stats.txt`` next to everything else, and
+* if a Chrome tracer is active, emits the journey as nested spans (one
+  covering birth→completion, one per hop segment) on a per-requestor
+  track, which Perfetto renders as a packet timeline.
+
+Everything here is behind ``FLAG_PACKET.enabled`` checks at the call
+sites, so with tracing off the cost is one attribute load per site.
+"""
+
+from __future__ import annotations
+
+from ..soc.stats import StatGroup
+from .flags import debug_flag, get_chrome_tracer
+
+__all__ = ["FLAG_PACKET", "finish", "hop_stats"]
+
+FLAG_PACKET = debug_flag(
+    "Packet", "packet lifetime tracking (hops, latency histograms, spans)"
+)
+
+#: histogram shape for hop latencies (ns buckets, like DRAM read latency)
+_HIST_LO, _HIST_HI, _HIST_BUCKET = 0, 2000, 50
+
+
+def hop_stats(sim) -> StatGroup:
+    """The per-simulation ``pkttrace`` stat group (created on demand)."""
+    group = getattr(sim, "_pkttrace_group", None)
+    if group is None:
+        group = StatGroup("pkttrace", sim.root_stats)
+        sim._pkttrace_group = group
+    return group
+
+
+def _hop_dist(sim, component: str):
+    group = hop_stats(sim)
+    stat = group.stats.get(f"hop_{component}")
+    if stat is None:
+        stat = group.distribution(
+            f"hop_{component}", _HIST_LO, _HIST_HI, _HIST_BUCKET,
+            f"latency spent in/after {component} (ns)",
+        )
+    return stat
+
+
+def finish(pkt, sim, tick: int, where: str) -> None:
+    """Close out *pkt*'s journey at *where* (its terminal consumer).
+
+    Guard the call with ``if FLAG_PACKET.enabled and pkt.hops:`` — this
+    function assumes hops were recorded.
+    """
+    hops = pkt.hops
+    if not hops:
+        return
+    pkt.record_hop(where, tick)
+    hops = pkt.hops
+    for (src, t0), (_dst, t1) in zip(hops, hops[1:]):
+        _hop_dist(sim, src).sample((t1 - t0) // 1000)  # ticks(ps) -> ns
+
+    tracer = get_chrome_tracer()
+    if tracer is not None:
+        track = f"pkt:{pkt.requestor}"
+        tracer.span(
+            f"{pkt.cmd.name} #{pkt.pkt_id} addr={pkt.addr:#x}",
+            track, pkt.birth_tick, tick,
+            args={"size": pkt.size, "hops": len(hops)},
+        )
+        for (src, t0), (_dst, t1) in zip(hops, hops[1:]):
+            tracer.span(src, track, t0, t1)
+    # the journey is consumed: a retried/reused packet starts fresh
+    pkt.hops = None

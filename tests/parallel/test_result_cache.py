@@ -1,6 +1,8 @@
 """ResultCache: keying, hits/misses, invalidation, corruption handling."""
 
 import json
+import os
+import time
 
 import repro.parallel.cache as cache_mod
 from repro.parallel import ResultCache, code_version
@@ -73,6 +75,52 @@ class TestStore:
             c.put(c.key(i=i), i)
         assert c.clear() == 3
         assert c.get(c.key(i=0)) is None
+
+    def test_put_leaves_no_temp_file(self, tmp_path):
+        c = ResultCache(tmp_path)
+        c.put(c.key(x=1), {"v": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestTmpReap:
+    @staticmethod
+    def _age(path, seconds):
+        past = time.time() - seconds
+        os.utime(path, (past, past))
+
+    def test_stale_tmp_reaped_on_construction(self, tmp_path):
+        orphan = tmp_path / "tmpdead123.tmp"
+        orphan.write_text("{torn", encoding="utf-8")
+        self._age(orphan, 7200)  # older than the 1h default grace
+        ResultCache(tmp_path)
+        assert not orphan.exists()
+
+    def test_fresh_tmp_survives_construction(self, tmp_path):
+        # a young .tmp may be another live worker's in-flight write
+        inflight = tmp_path / "tmplive456.tmp"
+        inflight.write_text("{partial", encoding="utf-8")
+        ResultCache(tmp_path)
+        assert inflight.exists()
+
+    def test_reap_honours_custom_age(self, tmp_path):
+        orphan = tmp_path / "tmpx.tmp"
+        orphan.write_text("", encoding="utf-8")
+        self._age(orphan, 10)
+        ResultCache(tmp_path, tmp_max_age_s=5.0)
+        assert not orphan.exists()
+
+    def test_clear_removes_tmp_files_unconditionally(self, tmp_path):
+        c = ResultCache(tmp_path)
+        c.put(c.key(x=1), 1)
+        fresh = tmp_path / "tmpfresh.tmp"
+        fresh.write_text("", encoding="utf-8")
+        assert c.clear() == 2  # one entry + one temp file
+        assert not fresh.exists()
+        assert not list(tmp_path.glob("*"))
+
+    def test_reap_missing_root_is_noop(self, tmp_path):
+        c = ResultCache(tmp_path / "never_created")
+        assert c.reap_stale_tmp() == 0
 
 
 class TestDefaultDir:

@@ -83,6 +83,128 @@ class TestSampling:
         assert "#3" in text
 
 
+def _parse_vcd(text):
+    """Minimal VCD reader: declared var widths, the $dumpvars initial
+    block, and every value-change line that follows.
+
+    Returns ``(widths, initial, changes)`` where *widths* maps vcd id ->
+    declared width, *initial* maps id -> value string inside the
+    ``$dumpvars … $end`` block, and *changes* is a list of ``(id,
+    value_str)`` for emissions after it.
+    """
+    widths: dict[str, int] = {}
+    initial: dict[str, str] = {}
+    changes: list[tuple[str, str]] = []
+    in_dumpvars = False
+    seen_dumpvars = False
+    past_defs = False
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("$var"):
+            # $var wire <width> <id> <name> $end
+            parts = line.split()
+            widths[parts[3]] = int(parts[2])
+            continue
+        if line.startswith("$enddefinitions"):
+            past_defs = True
+            continue
+        if line == "$dumpvars":
+            assert past_defs, "$dumpvars before $enddefinitions"
+            assert not seen_dumpvars, "duplicate $dumpvars block"
+            in_dumpvars = seen_dumpvars = True
+            continue
+        if line == "$end" and in_dumpvars:
+            in_dumpvars = False
+            continue
+        if line.startswith("$") or not past_defs:
+            continue
+        if line.startswith("b"):
+            value, _, vid = line[1:].partition(" ")
+        else:
+            value, vid = line[0], line[1:]
+        if in_dumpvars:
+            initial[vid] = value
+        else:
+            changes.append((vid, value))
+    assert seen_dumpvars, "no $dumpvars block emitted"
+    return widths, initial, changes
+
+
+class TestDumpvarsBlock:
+    def test_first_sample_emits_initial_values_for_all_signals(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(0, [0, 1, 0x42])
+        widths, initial, changes = _parse_vcd(w.stream.getvalue())
+        assert set(initial) == set(widths)  # every declared var dumped
+        assert changes == []
+
+    def test_dumpvars_emitted_once(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(0, [0, 0, 1])
+        w.sample(1, [1, 0, 2])
+        w.disable()
+        w.enable()            # full re-dump, but no second $dumpvars
+        w.sample(2, [1, 0, 2])
+        text = w.stream.getvalue()
+        assert text.count("$dumpvars") == 1
+        _parse_vcd(text)  # parser enforces single block + $end pairing
+
+    def test_values_confined_to_declared_width(self):
+        """Negative and over-width values must be masked, never emitted
+        as out-of-spec lines like ``b-101 !``."""
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(0, [0, 1, -5])       # negative on the 8-bit bus
+        w.sample(1, [0, 1, 0x1FF])    # over-width on the 8-bit bus
+        w.sample(2, [3, -1, 0])       # over-width/negative 1-bit values
+        text = w.stream.getvalue()
+        assert "-" not in text.split("$enddefinitions")[1]
+        widths, initial, changes = _parse_vcd(text)
+        for vid, value in list(initial.items()) + changes:
+            assert set(value) <= {"0", "1"}, f"bad value {value!r}"
+            assert len(value) <= widths[vid]
+
+    def test_negative_value_emitted_as_twos_complement(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(0, [0, 0, -5])
+        _, initial, _ = _parse_vcd(w.stream.getvalue())
+        bus_id = [vid for vid, width in _parse_vcd(
+            w.stream.getvalue())[0].items() if width == 8][0]
+        assert initial[bus_id] == "11111011"  # -5 & 0xFF
+
+    def test_masked_value_does_not_retrigger_change_emission(self):
+        m = _module()
+        w = VCDWriter(m, stream=io.StringIO())
+        w.sample(0, [0, 0, 0xFB])
+        size = len(w.stream.getvalue())
+        w.sample(1, [0, 0, -5])  # same bits after masking: no change
+        assert len(w.stream.getvalue()) == size
+
+    def test_gtkwave_style_roundtrip(self):
+        """Drive a real simulation and re-read the produced file."""
+        m = RTLModule("m")
+        clk = m.add_signal("clk", 1, is_input=True)
+        c = m.add_signal("c", 4)
+
+        def p(v, mm, nba, nbm):
+            nba.append((c.index, (v[c.index] + 1) & 0xF))
+
+        m.add_sync(p, clk, reads={c.index}, writes={c.index})
+        w = VCDWriter(m, stream=io.StringIO())
+        sim = RTLSimulator(m, trace=w)
+        sim.tick(5)
+        widths, initial, changes = _parse_vcd(w.stream.getvalue())
+        assert set(initial) == set(widths)
+        assert changes  # the counter kept changing after the first dump
+        for vid, value in changes:
+            assert len(value) <= widths[vid]
+
+
 class TestIntegration:
     def test_simulator_produces_waveform(self):
         m = RTLModule("m")

@@ -70,3 +70,34 @@ class TestStatsDumper:
         soc = SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))
         with pytest.raises(ValueError):
             StatsDumper(soc.sim, interval_cycles=0)
+
+    def test_stop_deschedules_mid_run(self):
+        soc = SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))
+        dumper = StatsDumper(soc.sim, interval_cycles=500)
+        soc.cores[0].run_stream([alu(1)] * 3000)
+        soc.run_until_done()
+        dumper.stop()
+        count = len(dumper.snapshots)
+        assert count >= 2
+        assert not dumper._event.scheduled
+        # more simulated work after stop() must not grow the history
+        soc.cores[0].run_stream([alu(1)] * 3000)
+        soc.run_until_done()
+        assert len(dumper.snapshots) == count
+
+    def test_stop_is_idempotent(self):
+        soc = SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))
+        dumper = StatsDumper(soc.sim, interval_cycles=500)
+        soc.cores[0].run_stream([alu(1)] * 1500)
+        soc.run_until_done()
+        dumper.stop()
+        dumper.stop()
+        assert not dumper._event.scheduled
+
+    def test_series_missing_key_is_empty(self):
+        soc = SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))
+        dumper = StatsDumper(soc.sim, interval_cycles=500)
+        soc.cores[0].run_stream([alu(1)] * 3000)
+        soc.run_until_done()
+        dumper.stop()
+        assert dumper.series("system.no.such.stat") == []

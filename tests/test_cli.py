@@ -99,3 +99,50 @@ class TestExperimentCommands:
         assert args.intervals == "4000,8000" and args.jobs == 2
         args = parser.parse_args(["table3", "--jobs", "2"])
         assert args.jobs == 2
+
+
+class TestTracingOptions:
+    def test_trace_flags_parse_on_every_experiment_command(self):
+        parser = build_parser()
+        for cmd in ("fig5", "table2", "dse", "table3"):
+            args = parser.parse_args([
+                cmd, "--debug-flags", "Cache,DRAM",
+                "--trace-out", "t.json",
+                "--trace-start", "1000", "--trace-end", "2000",
+            ])
+            assert args.debug_flags == "Cache,DRAM"
+            assert args.trace_out == "t.json"
+            assert args.trace_start == 1000 and args.trace_end == 2000
+
+    def test_flag_listing_exits_before_running(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig5", "--debug-flags", "?"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        for name in ("Cache", "Cache.MSHR", "DRAM", "RTL", "Packet"):
+            assert name in out
+
+    def test_trace_out_produces_loadable_json(self, tmp_path, capsys):
+        import json
+
+        from repro.trace.flags import (
+            reset_flags,
+            set_chrome_tracer,
+            set_default_profiler,
+        )
+
+        path = tmp_path / "trace.json"
+        try:
+            rc = main([
+                "dse", "--workload", "sanity3", "--nvdla", "1",
+                "--inflight", "8", "--memories", "HBM", "--scale", "0.05",
+                "--no-cache", "--debug-flags", "Cache",
+                "--trace-out", str(path),
+            ])
+        finally:
+            reset_flags()
+            set_chrome_tracer(None)
+            set_default_profiler(None)
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]

@@ -1,0 +1,121 @@
+"""Chrome trace-event exporter: event shapes, caps, serialisation."""
+
+import json
+
+from repro.trace.chrome import PID_HOST, PID_SIM, ChromeTracer
+
+
+class TestEvents:
+    def test_process_metadata_present(self):
+        t = ChromeTracer()
+        meta = [e for e in t.events if e["ph"] == "M"
+                and e["name"] == "process_name"]
+        assert {e["pid"] for e in meta} == {PID_SIM, PID_HOST}
+
+    def test_instant_timestamp_conversion(self):
+        t = ChromeTracer()
+        t.instant("hit", "Cache", tick=2_000_000)  # 2 µs of sim time
+        ev = [e for e in t.events if e["ph"] == "i"][0]
+        assert ev["ts"] == 2.0
+        assert ev["pid"] == PID_SIM
+
+    def test_span_duration(self):
+        t = ChromeTracer()
+        t.span("pkt", "pkt:cpu0", 1_000_000, 4_000_000, args={"hops": 2})
+        ev = [e for e in t.events if e["ph"] == "X"][0]
+        assert ev["ts"] == 1.0
+        assert ev["dur"] == 3.0
+        assert ev["args"]["hops"] == 2
+
+    def test_span_negative_duration_clamped(self):
+        t = ChromeTracer()
+        t.span("odd", "x", 5_000_000, 1_000_000)
+        assert [e for e in t.events if e["ph"] == "X"][0]["dur"] == 0
+
+    def test_counter(self):
+        t = ChromeTracer()
+        t.counter("inflight", 1_000_000, {"reads": 3})
+        ev = [e for e in t.events if e["ph"] == "C"][0]
+        assert ev["args"] == {"reads": 3}
+
+    def test_string_tracks_get_stable_tids_and_names(self):
+        t = ChromeTracer()
+        t.instant("a", "trackA", 0)
+        t.instant("b", "trackA", 1)
+        t.instant("c", "trackB", 2)
+        instants = [e for e in t.events if e["ph"] == "i"]
+        assert instants[0]["tid"] == instants[1]["tid"]
+        assert instants[0]["tid"] != instants[2]["tid"]
+        names = [e for e in t.events if e.get("name") == "thread_name"]
+        assert {e["args"]["name"] for e in names} == {"trackA", "trackB"}
+
+    def test_disabled_suppresses_sim_events(self):
+        t = ChromeTracer()
+        t.enabled = False
+        before = len(t.events)
+        t.instant("x", "t", 0)
+        t.span("x", "t", 0, 1)
+        t.counter("x", 0, {})
+        assert len(t.events) == before
+
+
+class TestHostProfile:
+    def test_aggregates_and_slices(self):
+        t = ChromeTracer()
+        t.host_event("cpu.cycle", tick=500, t0=t._host_t0, dur=0.001)
+        t.host_event("cpu.cycle", tick=1000, t0=t._host_t0, dur=0.002)
+        count, seconds = t.host_totals["cpu.cycle"]
+        assert count == 2
+        assert abs(seconds - 0.003) < 1e-9
+        slices = [e for e in t.events if e["pid"] == PID_HOST
+                  and e["ph"] == "X"]
+        assert len(slices) == 2
+        assert slices[0]["args"]["sim_tick"] == 500
+
+    def test_cap_keeps_totals_complete(self, monkeypatch):
+        t = ChromeTracer()
+        monkeypatch.setattr(ChromeTracer, "HOST_EVENT_CAP", 3)
+        for i in range(10):
+            t.host_event("ev", tick=i, t0=t._host_t0, dur=0.001)
+        slices = [e for e in t.events if e["pid"] == PID_HOST
+                  and e["ph"] == "X"]
+        assert len(slices) == 3          # capped
+        assert t.host_totals["ev"][0] == 10  # aggregate complete
+
+
+class TestOutput:
+    def test_to_json_is_loadable(self):
+        t = ChromeTracer()
+        t.instant("x", "t", 0)
+        doc = json.loads(t.to_json())
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ns"
+        assert doc["otherData"]["generator"] == "repro.trace"
+
+    def test_finish_writes_path_and_is_idempotent(self, tmp_path):
+        out = tmp_path / "trace.json"
+        t = ChromeTracer(path=str(out))
+        t.span("s", "t", 0, 1_000_000)
+        assert t.finish() == str(out)
+        first = out.read_text()
+        assert t.finish() == str(out)  # second call: no rewrite
+        assert out.read_text() == first
+        doc = json.loads(first)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_finish_prefers_stream(self, tmp_path):
+        import io
+
+        buf = io.StringIO()
+        t = ChromeTracer(path=str(tmp_path / "never.json"), stream=buf)
+        t.finish()
+        assert not (tmp_path / "never.json").exists()
+        json.loads(buf.getvalue())
+
+    def test_host_totals_serialised(self):
+        t = ChromeTracer()
+        t.host_event("cb", tick=0, t0=t._host_t0, dur=0.5)
+        doc = json.loads(t.to_json())
+        totals = doc["otherData"]["host_callback_totals"]
+        assert totals["cb"]["count"] == 1
+        assert totals["cb"]["seconds"] == 0.5

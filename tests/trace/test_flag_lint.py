@@ -1,0 +1,70 @@
+"""Lint the debug-flag registrations across the source tree.
+
+Two invariants keep ``--debug-flags`` trustworthy:
+
+* every registered flag name is unique — two components silently
+  sharing ``"Cache"`` would make the flag's output misleading;
+* every registration is actually used as a guard (``FLAG.enabled``)
+  in the file that registers it — a flag with no call site is dead
+  weight in ``--debug-flags`` help and in the registry.
+
+Registrations are found by walking the AST (not regex), so docstring
+examples don't count.
+"""
+
+import ast
+import pathlib
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+
+def _registrations():
+    """Yield (file, assigned_name, flag_name) for every literal
+    ``X = debug_flag("Name", ...)`` assignment under src/repro."""
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            call = node.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Name)
+                and call.func.id == "debug_flag"
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    yield path, target.id, call.args[0].value
+
+
+class TestFlagLint:
+    def test_some_registrations_exist(self):
+        assert len(list(_registrations())) >= 8
+
+    def test_flag_names_unique(self):
+        seen = {}
+        for path, _var, name in _registrations():
+            rel = path.relative_to(SRC_ROOT)
+            assert name not in seen, (
+                f"debug flag {name!r} registered in both {seen[name]} "
+                f"and {rel}"
+            )
+            seen[name] = rel
+
+    def test_every_flag_guards_a_call_site(self):
+        for path, var, name in _registrations():
+            text = path.read_text(encoding="utf-8")
+            assert f"{var}.enabled" in text, (
+                f"{path.relative_to(SRC_ROOT)} registers debug flag "
+                f"{name!r} as {var} but never checks {var}.enabled"
+            )
+
+    def test_registered_names_are_valid(self):
+        for _path, _var, name in _registrations():
+            assert name == name.strip() and " " not in name and name
