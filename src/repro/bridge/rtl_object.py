@@ -373,3 +373,41 @@ class RTLObject(SimObject):
             pkttrace.finish(pkt, self.sim, self.now, self.name)
         self.mem_resp_queue.append(pkt)
         return True
+
+    # -- checkpointing ----------------------------------------------------
+
+    def ckpt_named_events(self):
+        return {"tick": self._tick_event}
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "cpu_req_queue": [ctx.pack(p) for p in self.cpu_req_queue],
+            "blocked_resps": [
+                [ctx.pack(p) for p in q] for q in self._blocked_resps
+            ],
+            "mem_req_queue": [
+                [ctx.pack(p) for p in q] for q in self._mem_req_queue
+            ],
+            "mem_resp_queue": [ctx.pack(p) for p in self.mem_resp_queue],
+            "inflight": self.inflight,
+            "running": self._running,
+            "library": self.library.checkpoint_state(),
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self.cpu_req_queue = deque(
+            ctx.unpack(p) for p in state["cpu_req_queue"]
+        )
+        self._blocked_resps = [
+            deque(ctx.unpack(p) for p in q) for q in state["blocked_resps"]
+        ]
+        self._mem_req_queue = [
+            deque(ctx.unpack(p) for p in q) for q in state["mem_req_queue"]
+        ]
+        self.mem_resp_queue = deque(
+            ctx.unpack(p) for p in state["mem_resp_queue"]
+        )
+        self.inflight = state["inflight"]
+        self._running = state["running"]
+        self._span = None
+        self.library.load_checkpoint_state(state["library"])

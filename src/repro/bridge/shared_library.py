@@ -59,6 +59,20 @@ class SharedLibrary(abc.ABC):
     def reset(self) -> None:
         """Reset the modelled hardware."""
 
+    # -- checkpointing (a Verilator feature the paper calls out) ------------
+
+    def checkpoint_state(self) -> dict:
+        """JSON-able snapshot of the model's full state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        """Restore a :meth:`checkpoint_state` snapshot."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support checkpointing"
+        )
+
 
 class RTLSharedLibrary(SharedLibrary):
     """Wrapper base for models produced by the HDL toolflows.
@@ -154,6 +168,25 @@ class RTLSharedLibrary(SharedLibrary):
         self.sim.restore_checkpoint(ckpt)
         self.ticks = ticks
 
+    def checkpoint_state(self) -> dict:
+        ckpt, ticks = self.save_checkpoint()
+        return {
+            "cycle": ckpt.cycle,
+            "values": list(ckpt.values),
+            "mems": [list(m) for m in ckpt.mems],
+            "ticks": ticks,
+        }
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        from ..rtl.simulator import RTLCheckpoint
+
+        ckpt = RTLCheckpoint(
+            cycle=state["cycle"],
+            values=list(state["values"]),
+            mems=[list(m) for m in state["mems"]],
+        )
+        self.restore_checkpoint((ckpt, state["ticks"]))
+
     # -- model-specific hooks ------------------------------------------------------
 
     @abc.abstractmethod
@@ -188,3 +221,23 @@ class BehavioralSharedLibrary(SharedLibrary):
 
     def reset(self) -> None:
         self.ticks = 0
+
+    # -- checkpointing ------------------------------------------------------
+
+    def model_state(self) -> dict:
+        """JSON-able model-specific state (override per model)."""
+        return {}
+
+    def load_model_state(self, state: dict) -> None:
+        if state:
+            raise NotImplementedError(
+                f"{type(self).__name__} checkpointed model state but "
+                "does not implement load_model_state"
+            )
+
+    def checkpoint_state(self) -> dict:
+        return {"ticks": self.ticks, "model": self.model_state()}
+
+    def load_checkpoint_state(self, state: dict) -> None:
+        self.ticks = state["ticks"]
+        self.load_model_state(state["model"])

@@ -13,6 +13,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -145,18 +146,76 @@ def _setup_tracing(args: argparse.Namespace):
     return tracer
 
 
+def _setup_resilience(args: argparse.Namespace):
+    """Park ``--inject``/``--watchdog``/``--checkpoint-*``/``--restore-from``
+    with :mod:`repro.resilience.control`; the first simulation that starts
+    (per process — workers inherit the parked state on fork) arms them.
+
+    Returns the :class:`~repro.parallel.RunStats` instance that sweep
+    commands should thread into their runner, so ``--keep-going`` /
+    ``--point-timeout`` outcomes can be summarised after the run.
+    """
+    from .parallel import RunStats
+
+    inject = getattr(args, "inject", None)
+    seed = getattr(args, "inject_seed", None)
+    watchdog = getattr(args, "watchdog", False)
+    interval = getattr(args, "watchdog_interval", None)
+    every = getattr(args, "checkpoint_every", None)
+    restore = getattr(args, "restore_from", None)
+    stats = RunStats()
+    if not (inject or seed is not None or watchdog or every or restore):
+        return stats
+    from .resilience import FaultPlan, control
+
+    if inject:
+        plan = FaultPlan.parse(inject.split(","), seed=seed or 0)
+        control.set_pending_plan(plan)
+    elif seed is not None:
+        plan = FaultPlan.generate(seed)
+        print(f"injecting generated plan (seed={seed}): "
+              f"{', '.join(f.spec() for f in plan.faults)}", file=sys.stderr)
+        control.set_pending_plan(plan)
+    if watchdog or interval is not None:
+        kwargs = {}
+        if interval is not None:
+            kwargs["check_cycles"] = interval
+        control.set_pending_watchdog(**kwargs)
+    if every:
+        control.set_pending_checkpoints(every, args.checkpoint_dir)
+    if restore:
+        control.set_pending_restore(restore)
+    return stats
+
+
+def _report_run_stats(stats) -> None:
+    """One stderr line when a sweep had to retry, kill or skip points."""
+    if not (stats.failed or stats.timeout_kills or stats.pool_restarts
+            or stats.soft_retries):
+        return
+    requeued = sum(stats.requeues.values())
+    print(f"sweep resilience: {stats.completed}/{stats.points} completed, "
+          f"{stats.failed} failed, {stats.soft_retries} soft retries, "
+          f"{stats.timeout_kills} timeout kills, "
+          f"{stats.pool_restarts} pool restarts, "
+          f"{requeued} innocent requeues", file=sys.stderr)
+
+
 def cmd_fig5(args: argparse.Namespace) -> int:
     from .dse import render_fig5, run_fig5, run_fig5_series
 
     intervals = tuple(int(x) for x in args.intervals.split(","))
+    stats = _setup_resilience(args)
     if len(intervals) == 1:
         results = {intervals[0]: run_fig5(n_sort=args.n,
                                           interval_cycles=intervals[0])}
     else:
         results = run_fig5_series(
             intervals, n_sort=args.n, jobs=args.jobs,
-            progress=_progress(len(intervals), "fig5"),
+            point_timeout=args.point_timeout, keep_going=args.keep_going,
+            progress=_progress(len(intervals), "fig5"), stats=stats,
         )
+        _report_run_stats(stats)
     for interval, result in results.items():
         if len(results) > 1:
             print(f"\n== sampling interval: {interval} cycles ==")
@@ -169,8 +228,12 @@ def cmd_table2(args: argparse.Namespace) -> int:
     from .dse.pmu_experiment import run_table2
 
     sizes = tuple(int(s) for s in args.sizes.split(","))
+    stats = _setup_resilience(args)
     rows = run_table2(sizes=sizes, jobs=args.jobs,
-                      progress=_progress(len(sizes), "table2"))
+                      point_timeout=args.point_timeout,
+                      keep_going=args.keep_going,
+                      progress=_progress(len(sizes), "table2"), stats=stats)
+    _report_run_stats(stats)
     print(render_table2(rows))
     return 0
 
@@ -183,12 +246,15 @@ def cmd_dse(args: argparse.Namespace) -> int:
     memories = tuple(args.memories.split(","))
     cache = None if args.no_cache else ResultCache()
     n_points = len(inflight) * len(memories) + 1
+    stats = _setup_resilience(args)
     result = run_dse(
         args.workload, args.nvdla, inflight_sweep=inflight,
         memories=memories, scale=args.scale,
         jobs=args.jobs, cache=cache,
-        progress=_progress(n_points, "dse"),
+        point_timeout=args.point_timeout, keep_going=args.keep_going,
+        progress=_progress(n_points, "dse"), stats=stats,
     )
+    _report_run_stats(stats)
     print(render_dse(result, inflight_sweep=inflight))
     line = (f"\n({result.wall_seconds:.1f}s wall for {n_points} simulations "
             f"at jobs={args.jobs}")
@@ -202,7 +268,11 @@ def cmd_dse(args: argparse.Namespace) -> int:
 def cmd_table3(args: argparse.Namespace) -> int:
     from .dse import render_table3, run_table3
 
-    print(render_table3(run_table3(jobs=args.jobs)))
+    stats = _setup_resilience(args)
+    rows = run_table3(jobs=args.jobs, point_timeout=args.point_timeout,
+                      keep_going=args.keep_going, stats=stats)
+    _report_run_stats(stats)
+    print(render_table3(rows))
     return 0
 
 
@@ -251,6 +321,43 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="CYC",
                        help="close the trace window at this cycle")
 
+    def add_resilience_opts(p: argparse.ArgumentParser) -> None:
+        g = p.add_argument_group("resilience (repro.resilience)")
+        g.add_argument("--inject", default=None,
+                       metavar="SPEC[,SPEC...]",
+                       help="deterministic fault injection, e.g. "
+                            "dram-drop@100 dram-delay@50:2000 "
+                            "retry-storm@10000:5000 rtl-flip@20000:3 "
+                            "(kind@trigger[:arg])")
+        g.add_argument("--inject-seed", type=int, default=None, metavar="N",
+                       help="generate a seeded random fault plan "
+                            "(or seed --inject parsing)")
+        g.add_argument("--watchdog", action="store_true",
+                       help="attach the hang watchdog: raises a "
+                            "SimulationHang with a structured report on "
+                            "deadlock/livelock")
+        g.add_argument("--watchdog-interval", type=int, default=None,
+                       metavar="CYC",
+                       help="watchdog progress-check interval in cycles "
+                            "(default 50000; implies --watchdog)")
+        g.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="CYC",
+                       help="save a full-system checkpoint every N cycles")
+        g.add_argument("--checkpoint-dir", default="benchmarks/out/ckpt",
+                       metavar="DIR",
+                       help="directory for --checkpoint-every snapshots")
+        g.add_argument("--restore-from", default=None, metavar="PATH",
+                       help="restore simulation state from a checkpoint "
+                            "before running (system must be built with "
+                            "the same configuration)")
+        g.add_argument("--point-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="with --jobs > 1: kill and retry any sweep "
+                            "point exceeding this wall-clock budget")
+        g.add_argument("--keep-going", action="store_true",
+                       help="record failed sweep points and continue "
+                            "instead of aborting the whole sweep")
+
     p = sub.add_parser("fig5", help="PMU vs gem5 IPC series")
     p.add_argument("--n", type=int, default=200, help="sort size")
     p.add_argument("--intervals", "--interval", default="10000",
@@ -259,12 +366,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=40)
     add_jobs(p)
     add_trace_opts(p)
+    add_resilience_opts(p)
     p.set_defaults(fn=cmd_fig5)
 
     p = sub.add_parser("table2", help="PMU/waveform overheads")
     p.add_argument("--sizes", default="60,150,300")
     add_jobs(p)
     add_trace_opts(p)
+    add_resilience_opts(p)
     p.set_defaults(fn=cmd_table2)
 
     p = sub.add_parser("dse", help="NVDLA design-space exploration")
@@ -280,13 +389,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "(benchmarks/out/cache)")
     add_jobs(p)
     add_trace_opts(p)
+    add_resilience_opts(p)
     p.set_defaults(fn=cmd_dse)
 
     p = sub.add_parser("table3", help="full-system vs standalone overhead")
     add_jobs(p)
     add_trace_opts(p)
+    add_resilience_opts(p)
     p.set_defaults(fn=cmd_table3)
     return parser
+
+
+HANG_REPORT_PATH = os.path.join("benchmarks", "out", "hang-report.txt")
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -294,6 +408,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     tracer = _setup_tracing(args)
     try:
         return args.fn(args)
+    except TimeoutError as err:
+        # SimulationHang: persist the structured report so CI (and
+        # operators) can collect it alongside the last checkpoint.
+        report = getattr(err, "report", None)
+        if report is None:
+            raise
+        os.makedirs(os.path.dirname(HANG_REPORT_PATH), exist_ok=True)
+        with open(HANG_REPORT_PATH, "w", encoding="utf-8") as fh:
+            fh.write(report.format() + "\n")
+        print(str(err), file=sys.stderr)
+        print(f"hang report written to {HANG_REPORT_PATH}", file=sys.stderr)
+        return 2
     finally:
         if tracer is not None:
             path = tracer.finish()

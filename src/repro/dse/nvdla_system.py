@@ -39,10 +39,13 @@ class NVDLASystem:
         sim.startup()
         step = sim.default_clock.cycles_to_ticks(20_000)
         deadline = sim.now + max_ticks
+        # boundaries aligned to absolute multiples of *step* so resumed
+        # runs stop the RTL at the same tick as uninterrupted ones
         while not all(h.done for h in self.hosts):
             if sim.now >= deadline:
                 raise TimeoutError("NVDLA workload did not complete")
-            sim.run(until=min(sim.now + step, deadline))
+            boundary = (sim.now // step + 1) * step
+            sim.run(until=min(boundary, deadline))
         for rtl in self.rtls:
             rtl.stop()
         return sim.now
@@ -104,6 +107,8 @@ def build_nvdla_system(
             soc, rtl, trace, instance=i,
             host_core=host_core, timed_load=timed_load,
         )
+        # host apps carry playback progress; checkpoint them as extras
+        soc.sim.register_extra(f"nvdla_host{i}", host)
         rtls.append(rtl)
         hosts.append(host)
 

@@ -210,13 +210,27 @@ def run_fig5_series(
     memory: str = "DDR4-2ch",
     sleep_cycles: int = 20_000,
     jobs: int = 1,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
     progress=None,
+    stats=None,
 ) -> dict[int, Fig5Result]:
     """Fig. 5 at several sampling intervals — each series is an
-    independent full-system run, so they fan out over workers."""
+    independent full-system run, so they fan out over workers.
+
+    With ``keep_going=True`` intervals whose point exhausted its retry
+    budget are dropped from the returned dict instead of aborting the
+    series (their :class:`~repro.parallel.PointFailure` is visible via
+    *stats*).
+    """
+    from ..parallel import PointFailure
+
     points = [(n_sort, iv, memory, sleep_cycles) for iv in intervals]
-    results = run_points(points, _fig5_point, jobs=jobs, progress=progress)
-    return dict(zip(intervals, results))
+    results = run_points(points, _fig5_point, jobs=jobs,
+                         point_timeout=point_timeout, keep_going=keep_going,
+                         progress=progress, stats=stats)
+    return {iv: r for iv, r in zip(intervals, results)
+            if not isinstance(r, PointFailure)}
 
 
 # ---------------------------------------------------------------------------
@@ -283,13 +297,22 @@ def run_table2(
     sizes: tuple[int, ...] = (100, 200, 400),
     memory: str = "DDR4-2ch",
     jobs: int = 1,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
     progress=None,
+    stats=None,
 ) -> list[Table2Row]:
     """Reproduce Table 2: wall-clock overhead of gem5+PMU and +waveform.
 
     Sizes are the sort-benchmark N (the paper uses 3k/30k/60k on a
     C++ simulator; scaled here — the *ratios* are the result).  Rows
-    are wall-clock measurements and are therefore never cached.
+    are wall-clock measurements and are therefore never cached.  With
+    ``keep_going=True`` failed rows are dropped from the result.
     """
+    from ..parallel import PointFailure
+
     points = [(n, memory) for n in sizes]
-    return run_points(points, _table2_row, jobs=jobs, progress=progress)
+    rows = run_points(points, _table2_row, jobs=jobs,
+                      point_timeout=point_timeout, keep_going=keep_going,
+                      progress=progress, stats=stats)
+    return [r for r in rows if not isinstance(r, PointFailure)]

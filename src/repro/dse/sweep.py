@@ -105,14 +105,21 @@ def run_dse(
     scale: float | None = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
     progress=None,
+    stats=None,
 ) -> DSEResult:
     """Regenerate one subfigure of Fig. 6 (googlenet) / Fig. 7 (sanity3).
 
     ``jobs > 1`` fans the points over worker processes; ``cache``
     short-circuits points already simulated by this code version.
-    Results are bit-identical regardless of either option.
+    Results are bit-identical regardless of either option.  With
+    ``keep_going=True`` a failed point shows up as NaN in the
+    normalised sweep instead of aborting it (the ideal-memory baseline
+    is the one point that must succeed).
     """
+    from ..parallel import PointFailure
     if scale is None:
         scale = DEFAULT_SCALES.get(workload, 1.0)
     t0 = time.perf_counter()
@@ -139,22 +146,34 @@ def run_dse(
             todo.append(i)
 
     fresh = run_points(
-        [points[i] for i in todo], _dse_point, jobs=jobs, progress=progress
+        [points[i] for i in todo], _dse_point, jobs=jobs,
+        point_timeout=point_timeout, keep_going=keep_going,
+        progress=progress, stats=stats,
     )
     for i, value in zip(todo, fresh):
         measured[i] = value
+        if isinstance(value, PointFailure):
+            continue  # never cache a failure sentinel
         if cache is not None and keys[i] is not None:
             cache.put(keys[i], value, meta={"point": list(points[i])})
 
+    if isinstance(measured[0], PointFailure):
+        raise measured[0]  # nothing to normalise against
     ideal = measured[0]["ticks"]
     result = DSEResult(workload, n_nvdla, ideal, jobs=jobs)
     cursor = 1
     for memory in memories:
         result.normalized[memory] = {}
         for inflight in inflight_sweep:
-            result.normalized[memory][inflight] = ideal / measured[cursor]["ticks"]
+            m = measured[cursor]
+            result.normalized[memory][inflight] = (
+                float("nan") if isinstance(m, PointFailure)
+                else ideal / m["ticks"]
+            )
             cursor += 1
-    result.point_seconds = sum(m["seconds"] for m in measured)
+    result.point_seconds = sum(
+        m["seconds"] for m in measured if not isinstance(m, PointFailure)
+    )
     result.wall_seconds = time.perf_counter() - t0
     result.cache_misses = len(todo)
     result.cache_hits = len(points) - len(todo)
@@ -251,14 +270,23 @@ def run_table3(
     workloads: tuple[str, ...] = ("sanity3", "googlenet"),
     scales: dict[str, float] | None = None,
     jobs: int = 1,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
     progress=None,
+    stats=None,
 ) -> list[Table3Result]:
     """Reproduce Table 3: full-system overhead vs standalone simulation.
 
     Rows are wall-clock measurements, so they are never cached; with
     ``jobs > 1`` each row runs in its own worker (ratios within a row
-    remain honest — all three timings share one worker's core).
+    remain honest — all three timings share one worker's core).  With
+    ``keep_going=True`` failed rows are dropped from the result.
     """
+    from ..parallel import PointFailure
+
     scales = scales or DEFAULT_SCALES
     points = [(w, scales.get(w, 1.0)) for w in workloads]
-    return run_points(points, _table3_row, jobs=jobs, progress=progress)
+    rows = run_points(points, _table3_row, jobs=jobs,
+                      point_timeout=point_timeout, keep_going=keep_going,
+                      progress=progress, stats=stats)
+    return [r for r in rows if not isinstance(r, PointFailure)]

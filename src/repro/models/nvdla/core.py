@@ -177,6 +177,46 @@ class NVDLACore:
         self.perf_cycles = 0
         self.perf_stalls = 0
 
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "cfg": asdict(self.cfg),
+            "busy": self.busy,
+            "irq_pending": self.irq_pending,
+            "next_read_seq": self._next_read_seq,
+            "arrived": sorted(self._arrived),
+            "consumed": self._consumed,
+            "compute_credit": self._compute_credit,
+            "compute_debt": self._compute_debt,
+            "writes_pending": list(self._writes_pending),
+            "writes_issued": self._writes_issued,
+            "writes_acked": self._writes_acked,
+            "outputs_total": self._outputs_total,
+            "blocks_since_out": self._blocks_since_out,
+            "perf_cycles": self.perf_cycles,
+            "perf_stalls": self.perf_stalls,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cfg = LayerConfig(**state["cfg"])
+        self.busy = state["busy"]
+        self.irq_pending = state["irq_pending"]
+        self._next_read_seq = state["next_read_seq"]
+        self._arrived = set(state["arrived"])
+        self._consumed = state["consumed"]
+        self._compute_credit = state["compute_credit"]
+        self._compute_debt = state["compute_debt"]
+        self._writes_pending = deque(state["writes_pending"])
+        self._writes_issued = state["writes_issued"]
+        self._writes_acked = state["writes_acked"]
+        self._outputs_total = state["outputs_total"]
+        self._blocks_since_out = state["blocks_since_out"]
+        self.perf_cycles = state["perf_cycles"]
+        self.perf_stalls = state["perf_stalls"]
+
     # -- address generation -----------------------------------------------------
 
     def _block_addr(self, seq: int) -> tuple[int, int]:

@@ -59,12 +59,21 @@ class NVDLAHostApp:
         self._commands = trace.commands()
         self._cmd_index = 0
         self._waiting_irq = False
+        self._started_app = False
         rtl.on_interrupt(self._on_irq)
 
     # -- phase 1: trace load --------------------------------------------------
 
     def start(self) -> None:
-        """Begin the application (load phase first)."""
+        """Begin the application (load phase first).
+
+        Idempotent: a second call — including one made after this app's
+        state was restored from a checkpoint — is a no-op, so resumed
+        runs can go through the same ``run_to_completion`` entry point.
+        """
+        if self._started_app:
+            return
+        self._started_app = True
         self.load_start_tick = self.soc.sim.now
         cmd_bytes = self.trace.serialize()
         cmd_base = TRACE_CMD_BASE + self.instance * TRACE_CMD_STRIDE
@@ -121,6 +130,30 @@ class NVDLAHostApp:
         if self._waiting_irq:
             self._waiting_irq = False
             self._advance()
+
+    # -- checkpointing (registered as a Simulation "extra") -------------------
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "loaded": self.loaded,
+            "done": self.done,
+            "start_tick": self.start_tick,
+            "finish_tick": self.finish_tick,
+            "load_start_tick": self.load_start_tick,
+            "cmd_index": self._cmd_index,
+            "waiting_irq": self._waiting_irq,
+            "started_app": self._started_app,
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self.loaded = state["loaded"]
+        self.done = state["done"]
+        self.start_tick = state["start_tick"]
+        self.finish_tick = state["finish_tick"]
+        self.load_start_tick = state["load_start_tick"]
+        self._cmd_index = state["cmd_index"]
+        self._waiting_irq = state["waiting_irq"]
+        self._started_app = state["started_app"]
 
     # -- results ------------------------------------------------------------------
 

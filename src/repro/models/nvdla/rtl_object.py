@@ -168,3 +168,20 @@ class NVDLARTLObject(RTLObject):
             self.st_irqs.inc()
             for handler in self._irq_handlers:
                 handler(self.now)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def serialize(self, ctx) -> dict:
+        state = super().serialize(ctx)
+        state["pending_csb_read"] = (
+            None if self._pending_csb_read is None
+            else ctx.pack(self._pending_csb_read)
+        )
+        return state
+
+    def unserialize(self, state: dict, ctx) -> None:
+        super().unserialize(state, ctx)
+        pending = state["pending_csb_read"]
+        self._pending_csb_read = (
+            None if pending is None else ctx.unpack(pending)
+        )

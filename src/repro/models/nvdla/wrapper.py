@@ -62,6 +62,12 @@ class NVDLASharedLibrary(BehavioralSharedLibrary):
         super().reset()
         self.core.reset()
 
+    def model_state(self) -> dict:
+        return self.core.state_dict()
+
+    def load_model_state(self, state: dict) -> None:
+        self.core.load_state(state)
+
     def step(self, inputs: dict) -> dict:
         core = self.core
 

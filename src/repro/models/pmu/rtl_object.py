@@ -185,3 +185,30 @@ class PMURTLObject(RTLObject):
             self.st_interrupts.inc()
             for handler in self._interrupt_handlers:
                 handler(self.now)
+
+    # -- checkpointing ----------------------------------------------------
+
+    def serialize(self, ctx) -> dict:
+        state = super().serialize(ctx)
+        state["pending_reads"] = [ctx.pack(p) for p in self._pending_reads]
+        # pending pulse counts per wired lane, in wiring order (wires such
+        # as the external L1D-miss tap have no other serialization owner)
+        state["lane_counts"] = [
+            lane.wire.count for lane in self._lanes if lane.wire is not None
+        ]
+        return state
+
+    def unserialize(self, state: dict, ctx) -> None:
+        super().unserialize(state, ctx)
+        self._pending_reads = deque(
+            ctx.unpack(p) for p in state["pending_reads"]
+        )
+        wired = [lane for lane in self._lanes if lane.wire is not None]
+        counts = state["lane_counts"]
+        if len(wired) != len(counts):
+            raise ValueError(
+                f"{self.name}: checkpoint has {len(counts)} wired lanes, "
+                f"system has {len(wired)} — event wiring must match"
+            )
+        for lane, count in zip(wired, counts):
+            lane.wire.count = count

@@ -133,9 +133,20 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, ValueError, KeyError):
-            # A torn or hand-edited file is just a miss; it will be
-            # overwritten by the fresh result.
+        except (OSError, ValueError, KeyError, TypeError):
+            # A torn, truncated or hand-edited file is just a miss; it
+            # will be overwritten by the fresh result.  TypeError covers
+            # entries whose JSON parses but isn't our dict shape (e.g. a
+            # bare string or list after partial write + valid-JSON
+            # prefix).
+            import warnings
+
+            warnings.warn(
+                f"ignoring corrupted cache entry {path.name} "
+                "(treated as a miss)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             self.stats.errors += 1
             self.stats.misses += 1
             return None

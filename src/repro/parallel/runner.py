@@ -9,28 +9,53 @@ Design notes
 * Workers run the point inside a guard that converts in-worker Python
   exceptions into a ``("err", traceback)`` value; those retry *that
   point* up to ``max_attempts`` times and then raise
-  :class:`PointFailure`.
+  :class:`PointFailure` — or, with ``keep_going=True``, record the
+  :class:`PointFailure` instance in that point's result slot and keep
+  sweeping (graceful degradation for long fleets).
 * A *hard* crash (``os._exit``, segfault, OOM-kill) poisons the whole
   ``ProcessPoolExecutor`` — every in-flight future fails with
   ``BrokenProcessPool`` and the crashed point cannot be identified.
-  The runner then rebuilds the pool and requeues everything unfinished;
-  pool rebuilds are bounded by ``max_attempts`` before
-  :class:`WorkerCrashError` is raised.
+  The runner then rebuilds the pool and requeues everything unfinished
+  (recorded per point in ``RunStats.requeues``); pool rebuilds are
+  bounded by ``max_attempts`` before :class:`WorkerCrashError` is
+  raised (``keep_going`` does **not** soften this — a dying pool is an
+  environment problem, not a point problem).
+* ``point_timeout`` (seconds, pool mode only) bounds each point's wall
+  clock.  A hung worker cannot be cancelled through the executor API,
+  so on expiry the runner **kills the pool processes**, charges the
+  timed-out point a hard attempt (``RunStats.timeout_kills``), requeues
+  the innocent in-flight points without charging them, and rebuilds the
+  pool.
+* Long points can opt into **checkpoint-based resume**: pass
+  ``checkpoint_dir=`` and each point's worker runs with the
+  ``REPRO_POINT_CKPT_DIR`` environment variable set to a per-point
+  directory; a worker that calls
+  :func:`repro.resilience.control.enable_point_checkpoints` on its
+  simulation will periodically checkpoint there and, on a retry after a
+  kill, restore the newest checkpoint instead of starting over.
 * ``jobs <= 1`` runs in-process (no pool, no pickling) with the same
-  retry semantics — this is both the fast path for small sweeps and
-  the reference the determinism tests compare against.
+  retry/keep-going semantics — this is both the fast path for small
+  sweeps and the reference the determinism tests compare against.
+  ``point_timeout`` is ignored in-process (there is no one to kill).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import shutil
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 __all__ = ["PointFailure", "RunStats", "WorkerCrashError", "run_points"]
+
+#: environment variable carrying the per-point checkpoint directory
+POINT_CKPT_ENV = "REPRO_POINT_CKPT_DIR"
 
 
 class PointFailure(RuntimeError):
@@ -55,22 +80,44 @@ class RunStats:
 
     points: int = 0
     completed: int = 0
+    failed: int = 0            # PointFailure sentinels recorded (keep_going)
     soft_retries: int = 0      # in-worker exceptions that were retried
     pool_restarts: int = 0     # hard worker crashes that rebuilt the pool
+    timeout_kills: int = 0     # workers killed for exceeding point_timeout
     attempts: dict[int, int] = field(default_factory=dict)
+    #: per point: times it was requeued through no fault of its own
+    #: (pool crash or a neighbour's timeout) — visible in hang reports
+    requeues: dict[int, int] = field(default_factory=dict)
 
 
-def _guarded(worker: Callable, point):
+def _guarded(worker: Callable, point, env: Optional[dict] = None,
+             index: Optional[int] = None,
+             fault_dir: Optional[str] = None):
     """Run *worker* in the child, trapping Python-level failures.
 
     Returning the traceback (rather than letting the exception
     propagate through the future) lets the parent distinguish a
-    per-point soft failure from a pool-poisoning hard crash.
+    per-point soft failure from a pool-poisoning hard crash.  *env*
+    entries are exported before the call (per-point checkpoint dirs).
+    When *fault_dir* is set, worker-side faults from a parked
+    :class:`~repro.resilience.FaultPlan` (inherited on fork) are
+    applied before the point runs — ``worker-kill``/``worker-hang``
+    fire here, once per point across retries.
     """
+    if env:
+        os.environ.update(env)
+    if fault_dir is not None and index is not None:
+        from repro.resilience import apply_worker_faults, control
+
+        apply_worker_faults(control.pending_plan(), index, fault_dir)
     try:
         return ("ok", worker(point))
     except BaseException:  # noqa: BLE001 - the parent re-raises with context
         return ("err", traceback.format_exc())
+    finally:
+        if env:
+            for key in env:
+                os.environ.pop(key, None)
 
 
 def _pool_context():
@@ -80,27 +127,237 @@ def _pool_context():
     return multiprocessing.get_context("fork") if "fork" in methods else None
 
 
+def _point_env(checkpoint_dir: Optional[str], i: int) -> Optional[dict]:
+    if checkpoint_dir is None:
+        return None
+    return {POINT_CKPT_ENV: os.path.join(checkpoint_dir, f"point-{i:04d}")}
+
+
+def _worker_fault_dir() -> Optional[str]:
+    """A run-scoped marker directory iff a parked fault plan carries
+    worker-side faults; the markers make each fault fire once per point
+    across retries and pool rebuilds.  Pool mode only — in-process a
+    ``worker-kill`` would take down the sweep itself."""
+    try:
+        from repro.resilience import control
+    except ImportError:  # pragma: no cover - resilience always ships
+        return None
+    plan = control.pending_plan()
+    if plan is None or not plan.worker_faults():
+        return None
+    import tempfile
+
+    return tempfile.mkdtemp(prefix="repro-worker-faults-")
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool whose workers may be hung or dead."""
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.kill()
+        except Exception:  # noqa: BLE001 - already gone
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
 def _run_serial(
     points: Sequence,
     worker: Callable,
     max_attempts: int,
+    keep_going: bool,
+    checkpoint_dir: Optional[str],
     progress,
     stats: RunStats,
 ) -> list:
     results = []
     for i, point in enumerate(points):
+        env = _point_env(checkpoint_dir, i)
+        failure = None
+        payload = None
         for attempt in range(1, max_attempts + 1):
             stats.attempts[i] = attempt
-            status, payload = _guarded(worker, point)
+            status, payload = _guarded(worker, point, env)
             if status == "ok":
                 break
             if attempt >= max_attempts:
-                raise PointFailure(point, attempt, payload)
+                failure = PointFailure(point, attempt, payload)
+                break
             stats.soft_retries += 1
-        results.append(payload)
+        if failure is not None:
+            if not keep_going:
+                raise failure
+            # record the sentinel; everything completed so far is kept
+            results.append(failure)
+            stats.failed += 1
+        else:
+            results.append(payload)
+            stats.completed += 1
+        if progress is not None:
+            progress.update()
+    return results
+
+
+def _run_pool(
+    points: Sequence,
+    worker: Callable,
+    jobs: int,
+    max_attempts: int,
+    point_timeout: Optional[float],
+    keep_going: bool,
+    checkpoint_dir: Optional[str],
+    progress,
+    stats: RunStats,
+    fault_dir: Optional[str] = None,
+) -> list:
+    n = len(points)
+    results: list = [None] * n
+    finished = [False] * n
+    queue: deque[int] = deque(range(n))
+    ctx = _pool_context()
+
+    def resolve_ok(i: int, payload) -> None:
+        results[i] = payload
+        finished[i] = True
         stats.completed += 1
         if progress is not None:
             progress.update()
+
+    def resolve_failure(i: int, failure: PointFailure,
+                        pool: ProcessPoolExecutor) -> None:
+        if not keep_going:
+            # other workers may be mid-point (or hung); don't wait on them
+            _kill_pool(pool)
+            raise failure
+        results[i] = failure
+        finished[i] = True
+        stats.failed += 1
+        if progress is not None:
+            progress.update()
+
+    def requeue_innocent(i: int) -> None:
+        queue.append(i)
+        stats.requeues[i] = stats.requeues.get(i, 0) + 1
+
+    while queue:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(queue)), mp_context=ctx
+        )
+        inflight: dict = {}   # future -> (index, monotonic start)
+        broke = False
+        crash: Optional[BaseException] = None
+        clean = False
+        try:
+            while queue or inflight:
+                # windowed submission: at most *jobs* outstanding, so a
+                # future's start time ≈ its submission time and the
+                # per-point timeout measures actual run time.
+                while queue and len(inflight) < jobs:
+                    i = queue.popleft()
+                    try:
+                        fut = pool.submit(
+                            _guarded, worker, points[i],
+                            _point_env(checkpoint_dir, i),
+                            i, fault_dir,
+                        )
+                    except BrokenProcessPool as exc:
+                        broke, crash = True, exc
+                        queue.appendleft(i)
+                        break
+                    inflight[fut] = (i, time.monotonic())
+                if broke:
+                    break
+
+                wait_timeout = None
+                if point_timeout is not None and inflight:
+                    next_deadline = min(
+                        start + point_timeout for _i, start in inflight.values()
+                    )
+                    wait_timeout = max(0.0, next_deadline - time.monotonic())
+                done, _ = wait(
+                    list(inflight), timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                for fut in done:
+                    i, _start = inflight.pop(fut)
+                    try:
+                        status, payload = fut.result()
+                    except BaseException as exc:  # noqa: BLE001 - broken pool
+                        # The pool is poisoned; this future (and likely
+                        # the rest) never ran.  Requeue without charging
+                        # an attempt — we cannot tell who crashed.
+                        broke, crash = True, exc
+                        requeue_innocent(i)
+                        continue
+                    if status == "ok":
+                        resolve_ok(i, payload)
+                    else:
+                        attempts = stats.attempts.get(i, 0) + 1
+                        stats.attempts[i] = attempts
+                        if attempts >= max_attempts:
+                            resolve_failure(
+                                i, PointFailure(points[i], attempts, payload),
+                                pool,
+                            )
+                        else:
+                            stats.soft_retries += 1
+                            queue.append(i)
+                if broke:
+                    break
+
+                if point_timeout is not None and not done:
+                    now = time.monotonic()
+                    expired = [
+                        (fut, i) for fut, (i, start) in inflight.items()
+                        if now - start >= point_timeout
+                    ]
+                    if not expired:
+                        continue
+                    # A hung worker cannot be cancelled; kill the pool.
+                    # The expired point is charged a hard attempt; other
+                    # in-flight points are requeued uncharged.
+                    expired_futs = {fut for fut, _i in expired}
+                    for fut, (i, _start) in list(inflight.items()):
+                        if fut in expired_futs:
+                            continue
+                        requeue_innocent(i)
+                    for _fut, i in expired:
+                        attempts = stats.attempts.get(i, 0) + 1
+                        stats.attempts[i] = attempts
+                        stats.timeout_kills += 1
+                        if attempts >= max_attempts:
+                            resolve_failure(
+                                i,
+                                PointFailure(
+                                    points[i], attempts,
+                                    f"worker exceeded point_timeout="
+                                    f"{point_timeout}s and was killed",
+                                ),
+                                pool,
+                            )
+                        else:
+                            queue.append(i)
+                    inflight.clear()
+                    _kill_pool(pool)
+                    break
+            else:
+                clean = True
+        finally:
+            if clean:
+                pool.shutdown(wait=True)
+            else:
+                _kill_pool(pool)
+        if broke:
+            for _fut, (i, _start) in inflight.items():
+                requeue_innocent(i)
+            inflight.clear()
+            stats.pool_restarts += 1
+            if stats.pool_restarts >= max_attempts:
+                raise WorkerCrashError(
+                    f"worker pool died {stats.pool_restarts} time(s); "
+                    f"{sum(1 for f in finished if not f)} point(s) unfinished"
+                ) from crash
     return results
 
 
@@ -109,6 +366,9 @@ def run_points(
     worker: Callable,
     jobs: int = 1,
     max_attempts: int = 3,
+    point_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    checkpoint_dir: Optional[str] = None,
     progress=None,
     stats: Optional[RunStats] = None,
 ) -> list:
@@ -116,67 +376,30 @@ def run_points(
 
     ``worker`` must be picklable (a module-level function) when
     ``jobs > 1``.  ``progress``, if given, receives one ``update()``
-    call per completed point.
+    call per resolved point.  With ``keep_going=True`` a point that
+    exhausts its attempts contributes a :class:`PointFailure` instance
+    in its result slot instead of aborting the sweep.
+    ``point_timeout`` (seconds) kills and retries workers that run too
+    long (pool mode only).  ``checkpoint_dir`` enables per-point
+    checkpoint/resume via the ``REPRO_POINT_CKPT_DIR`` contract.
     """
     if stats is None:
         stats = RunStats()
     stats.points = len(points)
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    if point_timeout is not None and point_timeout <= 0:
+        raise ValueError(f"point_timeout must be > 0, got {point_timeout}")
     if not points:
         return []
     if jobs <= 1:
-        return _run_serial(points, worker, max_attempts, progress, stats)
-
-    results: list = [None] * len(points)
-    finished = [False] * len(points)
-    pending = list(range(len(points)))
-    ctx = _pool_context()
-    while pending:
-        requeue: list[int] = []
-        pool_broke = False
-        last_crash: Optional[BaseException] = None
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), mp_context=ctx
-        ) as pool:
-            try:
-                futures = {
-                    pool.submit(_guarded, worker, points[i]): i for i in pending
-                }
-            except BrokenProcessPool as exc:  # pragma: no cover - rare race
-                pool_broke, last_crash = True, exc
-                futures = {}
-                requeue = list(pending)
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    status, payload = future.result()
-                except BaseException as exc:  # noqa: BLE001 - broken pool
-                    # The pool is poisoned; this future (and likely the
-                    # rest) never ran.  Requeue without charging the
-                    # point an attempt — we cannot tell who crashed.
-                    pool_broke, last_crash = True, exc
-                    requeue.append(i)
-                    continue
-                if status == "ok":
-                    results[i] = payload
-                    finished[i] = True
-                    stats.completed += 1
-                    if progress is not None:
-                        progress.update()
-                else:
-                    attempts = stats.attempts.get(i, 0) + 1
-                    stats.attempts[i] = attempts
-                    if attempts >= max_attempts:
-                        raise PointFailure(points[i], attempts, payload)
-                    stats.soft_retries += 1
-                    requeue.append(i)
-        if pool_broke:
-            stats.pool_restarts += 1
-            if stats.pool_restarts >= max_attempts:
-                raise WorkerCrashError(
-                    f"worker pool died {stats.pool_restarts} time(s); "
-                    f"{sum(1 for f in finished if not f)} point(s) unfinished"
-                ) from last_crash
-        pending = requeue
-    return results
+        return _run_serial(points, worker, max_attempts, keep_going,
+                           checkpoint_dir, progress, stats)
+    fault_dir = _worker_fault_dir()
+    try:
+        return _run_pool(points, worker, jobs, max_attempts, point_timeout,
+                         keep_going, checkpoint_dir, progress, stats,
+                         fault_dir)
+    finally:
+        if fault_dir is not None:
+            shutil.rmtree(fault_dir, ignore_errors=True)

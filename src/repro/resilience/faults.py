@@ -1,0 +1,361 @@
+"""Deterministic fault injection (chaos harness).
+
+A :class:`FaultPlan` is a seeded, serializable list of :class:`Fault`
+records.  The same plan applied to the same system always produces the
+same fault schedule — faults trigger on deterministic counters (the
+N-th DRAM read completion, an absolute injector-clock cycle, a sweep
+point index), never on wall-clock time — so a failure found under
+injection replays exactly from the seed.
+
+Simulation-side faults (applied by :class:`FaultInjector`, a SimObject):
+
+* ``dram-drop@N`` — swallow the N-th DRAM read completion: the response
+  never reaches the requester (a true deadlock for whoever waits on it);
+* ``dram-delay@N:C`` — hold the N-th read completion for C extra
+  injector-clock cycles before delivering it;
+* ``retry-storm@T:D`` — from cycle T for D cycles (0 = forever), every
+  crossbar rejects every request while retries are kicked each cycle: a
+  genuine livelock (events fire constantly, nothing progresses);
+* ``rtl-flip@T:B`` — at cycle T, flip one bit (index B, modulo state
+  size) of every RTL-backed model's flop state.
+
+Worker-side faults (applied by :func:`apply_worker_faults` inside a
+parallel sweep worker):
+
+* ``worker-kill@I`` — hard-kill the worker the first time it runs sweep
+  point I (``os._exit``, as a segfault would);
+* ``worker-hang@I:S`` — hang point I for S seconds the first time it
+  runs (exercises the runner's per-point timeout).
+
+Both are once-only across retries, coordinated through marker files so
+the retried attempt succeeds — exactly the convergence the CI chaos
+job asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..soc.event import EventPriority
+from ..soc.simobject import SimObject, Simulation
+
+SIM_FAULT_KINDS = ("dram-drop", "dram-delay", "retry-storm", "rtl-flip")
+WORKER_FAULT_KINDS = ("worker-kill", "worker-hang")
+FAULT_KINDS = SIM_FAULT_KINDS + WORKER_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault: *kind* fires at *trigger* with parameter *arg*.
+
+    The trigger unit depends on the kind: a DRAM read-completion ordinal
+    (``dram-*``), an injector-clock cycle (``retry-storm``,
+    ``rtl-flip``), or a sweep point index (``worker-*``).
+    """
+
+    kind: str
+    trigger: int
+    arg: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.trigger < 0 or self.arg < 0:
+            raise ValueError(f"fault parameters must be >= 0: {self}")
+
+    def spec(self) -> str:
+        base = f"{self.kind}@{self.trigger}"
+        return f"{base}:{self.arg}" if self.arg else base
+
+
+class FaultPlan:
+    """An ordered, hashable set of faults plus the seed that made it."""
+
+    def __init__(self, faults: list[Fault], seed: Optional[int] = None) -> None:
+        self.faults = list(faults)
+        self.seed = seed
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def sim_faults(self) -> list[Fault]:
+        return [f for f in self.faults if f.kind in SIM_FAULT_KINDS]
+
+    def worker_faults(self) -> list[Fault]:
+        return [f for f in self.faults if f.kind in WORKER_FAULT_KINDS]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, specs: list[str], seed: Optional[int] = None) -> "FaultPlan":
+        """Build a plan from CLI specs like ``dram-delay@3:200``."""
+        faults = []
+        for spec in specs:
+            kind, _, rest = spec.partition("@")
+            if not rest:
+                raise ValueError(
+                    f"bad fault spec {spec!r} (want kind@trigger[:arg])"
+                )
+            trigger, _, arg = rest.partition(":")
+            faults.append(Fault(kind, int(trigger), int(arg) if arg else 0))
+        return cls(faults, seed=seed)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_faults: int = 3,
+        kinds: tuple = SIM_FAULT_KINDS,
+        max_trigger: int = 50,
+        points: int = 0,
+    ) -> "FaultPlan":
+        """Seeded random plan; same seed → identical plan, always."""
+        rng = random.Random(seed)
+        faults = []
+        for _ in range(n_faults):
+            kind = rng.choice(kinds)
+            if kind in ("dram-drop", "dram-delay"):
+                fault = Fault(kind, rng.randrange(1, max_trigger + 1),
+                              rng.randrange(50, 500) if kind == "dram-delay"
+                              else 0)
+            elif kind == "retry-storm":
+                fault = Fault(kind, rng.randrange(1, max_trigger + 1),
+                              rng.randrange(100, 1000))
+            elif kind == "rtl-flip":
+                fault = Fault(kind, rng.randrange(1, max_trigger + 1),
+                              rng.randrange(0, 4096))
+            else:  # worker faults need a point universe
+                if points <= 0:
+                    continue
+                fault = Fault(kind, rng.randrange(points),
+                              2 if kind == "worker-hang" else 0)
+            faults.append(fault)
+        return cls(faults, seed=seed)
+
+    # -- identity ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [
+                    {"kind": f.kind, "trigger": f.trigger, "arg": f.arg}
+                    for f in self.faults
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        return cls(
+            [Fault(f["kind"], f["trigger"], f["arg"]) for f in doc["faults"]],
+            seed=doc["seed"],
+        )
+
+    def schedule_digest(self) -> str:
+        """Stable hash of the fault schedule (used by determinism tests)."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()[:16]
+
+    def __repr__(self) -> str:
+        specs = ",".join(f.spec() for f in self.faults)
+        return f"FaultPlan([{specs}], seed={self.seed})"
+
+
+class FaultInjector(SimObject):
+    """Applies a plan's simulation-side faults to a running system.
+
+    Installs itself as the ``fault_hook`` of every DRAM controller and
+    schedules cycle-triggered faults as checkpoint-tagged events, so an
+    injected run can itself be checkpointed and restored mid-chaos.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        plan: FaultPlan,
+        name: str = "faultinjector",
+        parent: Optional[SimObject] = None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        self.plan = plan
+        self._read_count = 0
+        self._storming = False
+        self._drops = {f.trigger for f in plan if f.kind == "dram-drop"}
+        self._delays = {
+            f.trigger: f.arg for f in plan if f.kind == "dram-delay"
+        }
+        s = self.stats
+        self.st_dropped = s.scalar("dropped", "DRAM responses dropped")
+        self.st_delayed = s.scalar("delayed", "DRAM responses delayed")
+        self.st_flips = s.scalar("flips", "RTL state bits flipped")
+        self.st_storm_cycles = s.scalar("storm_cycles", "retry-storm cycles")
+
+    # -- wiring ------------------------------------------------------------
+
+    def startup(self) -> None:
+        from ..soc.mem.dram import DRAMController
+
+        for obj in self.sim.objects:
+            if isinstance(obj, DRAMController):
+                obj.fault_hook = self
+        for fault in self.plan.sim_faults():
+            when = self.now + fault.trigger * self.clock.period
+            if fault.kind == "retry-storm":
+                self.sched_ckpt("storm_on", fault.arg, when,
+                                EventPriority.CLOCK,
+                                name=f"{self.name}.storm_on")
+            elif fault.kind == "rtl-flip":
+                self.sched_ckpt("flip", fault.arg, when,
+                                EventPriority.CLOCK,
+                                name=f"{self.name}.flip")
+
+    # -- DRAM faults (counter-triggered via the controller hook) -----------
+
+    def on_dram_read(self, ctrl, pkt) -> bool:
+        """Called by the controller before completing a read; True = eat it."""
+        self._read_count += 1
+        n = self._read_count
+        if n in self._drops:
+            self.st_dropped.inc()
+            return True
+        delay = self._delays.get(n)
+        if delay is not None:
+            self.st_delayed.inc()
+            self.sched_ckpt(
+                "dram_redo", (ctrl.path(), pkt),
+                self.now + delay * self.clock.period,
+                EventPriority.DEFAULT, name=f"{self.name}.dram_redo",
+            )
+            return True
+        return False
+
+    # -- tagged-event dispatch --------------------------------------------
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        if kind == "dram_redo":
+            ctrl_path, pkt = payload
+            ctrl = self._find_object(ctrl_path)
+            # re-deliver without re-counting the completion
+            hook, ctrl.fault_hook = ctrl.fault_hook, None
+            try:
+                ctrl.complete_read(pkt)
+            finally:
+                ctrl.fault_hook = hook
+        elif kind == "storm_on":
+            self._storming = True
+            for xbar in self._crossbars():
+                xbar.fault_reject = True
+            if payload:  # finite duration in cycles
+                self.sched_ckpt(
+                    "storm_off", None,
+                    self.now + payload * self.clock.period,
+                    EventPriority.CLOCK, name=f"{self.name}.storm_off",
+                )
+            # first kick this very cycle: storm_off at T+D precedes the
+            # kick at T+D (earlier seq), so a D-cycle storm kicks D times
+            self.sched_ckpt("storm_kick", None, self.now,
+                            EventPriority.CLOCK,
+                            name=f"{self.name}.storm_kick")
+        elif kind == "storm_kick":
+            if not self._storming:
+                return
+            self.st_storm_cycles.inc()
+            for xbar in self._crossbars():
+                xbar._issue_retries()
+            self.sched_ckpt("storm_kick", None,
+                            self.now + self.clock.period,
+                            EventPriority.CLOCK,
+                            name=f"{self.name}.storm_kick")
+        elif kind == "storm_off":
+            self._storming = False
+            for xbar in self._crossbars():
+                xbar.fault_reject = False
+                xbar._issue_retries()
+        elif kind == "flip":
+            self._flip_bit(payload)
+        else:
+            raise ValueError(f"{self.name}: unknown event kind {kind!r}")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _crossbars(self):
+        from ..soc.interconnect.xbar import Crossbar
+
+        return [o for o in self.sim.objects if isinstance(o, Crossbar)]
+
+    def _find_object(self, path: str):
+        return self.sim.find(path)
+
+    def _flip_bit(self, bit: int) -> None:
+        from ..bridge.rtl_object import RTLObject
+
+        for obj in self.sim.objects:
+            if not isinstance(obj, RTLObject):
+                continue
+            rtl_sim = getattr(obj.library, "sim", None)
+            if rtl_sim is None:
+                continue  # behavioural model: no flop state to corrupt
+            ckpt = rtl_sim.save_checkpoint()
+            if not ckpt.values:
+                continue
+            idx = bit % len(ckpt.values)
+            ckpt.values[idx] ^= 1
+            rtl_sim.restore_checkpoint(ckpt)
+            self.st_flips.inc()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "plan_digest": self.plan.schedule_digest(),
+            "read_count": self._read_count,
+            "storming": self._storming,
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        if state["plan_digest"] != self.plan.schedule_digest():
+            raise ValueError(
+                f"{self.name}: checkpoint was taken under a different "
+                "fault plan"
+            )
+        self._read_count = state["read_count"]
+        self._storming = state["storming"]
+
+
+def apply_worker_faults(
+    plan: Optional[FaultPlan], point_index: int, marker_dir: str
+) -> None:
+    """Apply worker-side faults for *point_index* (call inside the worker).
+
+    Each fault fires exactly once across retries: the first attempt to
+    run the targeted point creates a marker file (atomically) and
+    misbehaves; the retried attempt sees the marker and runs clean.
+    """
+    if plan is None:
+        return
+    for fault in plan.worker_faults():
+        if fault.trigger != point_index:
+            continue
+        marker = Path(marker_dir) / f"{fault.kind}-{fault.trigger}"
+        try:
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            with open(marker, "x"):
+                pass
+        except FileExistsError:
+            continue  # already fired on a previous attempt
+        if fault.kind == "worker-kill":
+            os._exit(13)  # simulate a segfault: no teardown, no traceback
+        elif fault.kind == "worker-hang":
+            time.sleep(fault.arg or 3600)

@@ -1,0 +1,454 @@
+"""Full-system checkpoint/restore (gem5's ``serialize()`` protocol).
+
+Format
+------
+A checkpoint is one gzipped JSON document::
+
+    {
+      "version":  1,
+      "meta":     {"tick", "structure", "next_pkt_id", "saved_name"},
+      "eventq":   {"cur_tick", "seq", "executed", "compactions"},
+      "stats":    <root StatGroup state_dict>,
+      "objects":  {path: {"state", "named_events", "tagged_events"}},
+      "extras":   {name: state},
+      "packets":  [<encoded Packet>, ...]
+    }
+
+``version`` gates the whole layout; ``meta.structure`` is a digest over
+the object tree (paths + types) so a checkpoint can only be restored
+onto an identically built system.
+
+Bit-identical continuation
+--------------------------
+The engine does **not** drain the system first — draining would change
+timing relative to an uninterrupted run.  Instead every in-flight event
+is serialized with its original ``(tick, priority, seq)`` heap key, so
+the restored queue replays the exact same-tick ordering.  Components
+make their transient events visible through two SimObject hooks:
+
+* ``ckpt_named_events()`` — long-lived re-armable events (cycle/tick
+  events), re-scheduled as the same objects on restore;
+* ``sched_ckpt(kind, payload, ...)`` — tagged one-shots whose
+  ``(kind, payload)`` pair is serialized and re-created through
+  ``ckpt_dispatch`` on restore.
+
+An event the engine cannot attribute to either hook (a bare closure),
+or a component veto (``ckpt_veto``), makes the current instant
+non-checkpointable; :func:`save_checkpoint` then single-steps the
+simulation until the blocker clears.  The uninterrupted run passes
+through the same states, so stepping forward preserves bit-identity.
+
+In-flight :class:`~repro.soc.packet.Packet` objects are shared and
+mutated in place (gem5's ``make_response`` discipline), so the engine
+keeps a memoized packet table: every reference to the same packet
+object restores to the same object.
+"""
+
+from __future__ import annotations
+
+import base64
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+from ..soc.packet import MemCmd, Packet, peek_packet_id, set_next_packet_id
+
+CHECKPOINT_VERSION = 1
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "DeserializationContext",
+    "NotCheckpointable",
+    "SerializationContext",
+    "restore_checkpoint",
+    "save_checkpoint",
+    "structure_digest",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or read."""
+
+
+class NotCheckpointable(CheckpointError):
+    """The simulation holds state the engine cannot serialize."""
+
+
+# -- value encoding ----------------------------------------------------------
+#
+# JSON scalars pass through; containers and packets get tagged wrappers
+# so tuples survive the round-trip (heap keys and sender states are
+# tuples) and dict payloads cannot collide with the tags.
+
+
+class SerializationContext:
+    """Save-side helper: value packing + the memoized packet table."""
+
+    def __init__(self) -> None:
+        self._packets: list[Packet] = []
+        self._ids: dict[int, int] = {}
+
+    def ref(self, pkt: Packet) -> dict:
+        """Memoized ``{"__pkt__": index}`` reference for *pkt*."""
+        idx = self._ids.get(id(pkt))
+        if idx is None:
+            idx = len(self._packets)
+            self._ids[id(pkt)] = idx
+            self._packets.append(pkt)
+        return {"__pkt__": idx}
+
+    def pack(self, value: Any) -> Any:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, Packet):
+            return self.ref(value)
+        if isinstance(value, (bytes, bytearray)):
+            return {"__b__": base64.b64encode(bytes(value)).decode("ascii")}
+        if isinstance(value, tuple):
+            return {"__t__": [self.pack(v) for v in value]}
+        if isinstance(value, list):
+            return [self.pack(v) for v in value]
+        if isinstance(value, dict):
+            return {"__d__": {str(k): self.pack(v) for k, v in value.items()}}
+        raise NotCheckpointable(f"cannot serialize {type(value).__name__}")
+
+    def _encode_packet(self, pkt: Packet) -> dict:
+        data = pkt.data
+        return {
+            "cmd": pkt.cmd.name,
+            "addr": pkt.addr,
+            "size": pkt.size,
+            "data": None if data is None
+            else base64.b64encode(bytes(data)).decode("ascii"),
+            "pkt_id": pkt.pkt_id,
+            "req_tick": pkt.req_tick,
+            "resp_tick": pkt.resp_tick,
+            "requestor": pkt.requestor,
+            "sender_states": [self.pack(s) for s in pkt.sender_states],
+            "dest_port": pkt.dest_port,
+            "vaddr": pkt.vaddr,
+            "meta": self.pack(pkt.meta),
+            "birth_tick": pkt.birth_tick,
+            "hops": None if pkt.hops is None
+            else [list(h) for h in pkt.hops],
+        }
+
+    def encode_packets(self) -> list[dict]:
+        """Encode the packet table (worklist: encoding a packet's meta
+        or sender states may reference — and thus register — more)."""
+        out: list[dict] = []
+        i = 0
+        while i < len(self._packets):
+            out.append(self._encode_packet(self._packets[i]))
+            i += 1
+        return out
+
+
+class DeserializationContext:
+    """Load-side helper: the decoded packet table + value unpacking.
+
+    Packets are built in two passes — allocate all shells, then fill
+    fields — so references between packets (however they arise) resolve.
+    """
+
+    def __init__(self, packet_states: list[dict]) -> None:
+        self._packets = [Packet.__new__(Packet) for _ in packet_states]
+        for pkt, state in zip(self._packets, packet_states):
+            self._fill_packet(pkt, state)
+
+    def packet(self, index: int) -> Packet:
+        return self._packets[index]
+
+    def unpack(self, value: Any) -> Any:
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, list):
+            return [self.unpack(v) for v in value]
+        if isinstance(value, dict):
+            if "__pkt__" in value:
+                return self._packets[value["__pkt__"]]
+            if "__b__" in value:
+                return base64.b64decode(value["__b__"])
+            if "__t__" in value:
+                return tuple(self.unpack(v) for v in value["__t__"])
+            if "__d__" in value:
+                return {k: self.unpack(v) for k, v in value["__d__"].items()}
+        raise CheckpointError(f"malformed packed value: {value!r}")
+
+    def _fill_packet(self, pkt: Packet, state: dict) -> None:
+        pkt.cmd = MemCmd[state["cmd"]]
+        pkt.addr = state["addr"]
+        pkt.size = state["size"]
+        pkt.data = (None if state["data"] is None
+                    else base64.b64decode(state["data"]))
+        pkt.pkt_id = state["pkt_id"]
+        pkt.req_tick = state["req_tick"]
+        pkt.resp_tick = state["resp_tick"]
+        pkt.requestor = state["requestor"]
+        pkt.sender_states = [self.unpack(s) for s in state["sender_states"]]
+        pkt.dest_port = state["dest_port"]
+        pkt.vaddr = state["vaddr"]
+        pkt.meta = self.unpack(state["meta"])
+        pkt.birth_tick = state["birth_tick"]
+        pkt.hops = (None if state["hops"] is None
+                    else [tuple(h) for h in state["hops"]])
+
+
+# -- structure validation ----------------------------------------------------
+
+
+def structure_digest(sim) -> str:
+    """Digest of the object tree: a checkpoint only restores onto a
+    system built with the same objects in the same order."""
+    digest = hashlib.sha256()
+    for obj in sim.objects:
+        digest.update(f"{obj.path()}|{type(obj).__name__}\n".encode())
+    for name, extra in sim.extras.items():
+        digest.update(f"extra:{name}|{type(extra).__name__}\n".encode())
+    return digest.hexdigest()[:16]
+
+
+# -- checkpointability -------------------------------------------------------
+
+
+def _claimed_handles(sim) -> dict[int, tuple]:
+    """Map ``id(handle)`` → owner info for every claimed live event."""
+    claimed: dict[int, tuple] = {}
+    for obj in sim.objects:
+        for ev in obj.ckpt_named_events().values():
+            if ev.scheduled:
+                claimed[id(ev._entry)] = (obj, ev)
+        for _kind, _payload, ev in obj.ckpt_events():
+            if ev.scheduled:
+                claimed[id(ev._entry)] = (obj, ev)
+    return claimed
+
+
+def checkpoint_blockers(sim) -> list[str]:
+    """Why the simulation cannot be checkpointed *right now* (empty if
+    it can): component vetoes plus unclaimed in-flight events."""
+    problems: list[str] = []
+    for obj in sim.objects:
+        veto = obj.ckpt_veto()
+        if veto:
+            problems.append(f"{obj.path()}: {veto}")
+    claimed = _claimed_handles(sim)
+    for tick, _pri, _seq, handle in sim.eventq.live_entries():
+        if id(handle) not in claimed:
+            problems.append(
+                f"unclaimed event {handle.name!r} at tick {tick}"
+            )
+    return problems
+
+
+# -- save --------------------------------------------------------------------
+
+
+def save_checkpoint(sim, path, max_wait: int = 10**9) -> int:
+    """Write a checkpoint of *sim* to *path*; returns the save tick.
+
+    If the current instant is not checkpointable (a bare-closure event
+    or a component veto), the engine single-steps the event queue until
+    it is — at most *max_wait* ticks past the starting point.  Stepping
+    forward is safe for bit-identity: the uninterrupted run executes
+    the very same events.
+    """
+    sim.startup()
+    start = sim.now
+    while True:
+        problems = checkpoint_blockers(sim)
+        if not problems:
+            break
+        if sim.now - start > max_wait:
+            raise NotCheckpointable(
+                f"no checkpointable instant within {max_wait} ticks of "
+                f"{start}; blockers: " + "; ".join(problems[:5])
+            )
+        if not sim.eventq.service_one():
+            raise NotCheckpointable(
+                "event queue drained while blockers remain: "
+                + "; ".join(problems[:5])
+            )
+
+    ctx = SerializationContext()
+    eventq = sim.eventq
+    entries = {
+        id(handle): (tick, pri, seq)
+        for tick, pri, seq, handle in eventq.live_entries()
+    }
+
+    objects: dict[str, dict] = {}
+    for obj in sim.objects:
+        named: dict[str, Optional[list]] = {}
+        for name, ev in obj.ckpt_named_events().items():
+            if ev.scheduled:
+                named[name] = list(entries[id(ev._entry)])
+            else:
+                named[name] = None
+        tagged = []
+        for kind, payload, ev in obj.ckpt_events():
+            if not ev.scheduled:
+                continue
+            tick, pri, seq = entries[id(ev._entry)]
+            tagged.append({
+                "kind": kind,
+                "payload": ctx.pack(payload),
+                "tick": tick,
+                "priority": pri,
+                "seq": seq,
+                "name": ev.name,
+            })
+        # Deterministic file contents: tagged order follows the heap key.
+        tagged.sort(key=lambda t: (t["tick"], t["priority"], t["seq"]))
+        objects[obj.path()] = {
+            "state": obj.serialize(ctx),
+            "named_events": named,
+            "tagged_events": tagged,
+        }
+
+    extras = {
+        name: extra.serialize(ctx) for name, extra in sim.extras.items()
+    }
+
+    doc = {
+        "version": CHECKPOINT_VERSION,
+        "meta": {
+            "tick": sim.now,
+            "structure": structure_digest(sim),
+            "next_pkt_id": peek_packet_id(),
+            "saved_name": sim.name,
+        },
+        "eventq": {
+            "cur_tick": eventq.cur_tick,
+            "seq": eventq._seq,
+            "executed": eventq.executed,
+            "compactions": eventq.compactions,
+        },
+        "stats": sim.root_stats.state_dict(),
+        "objects": objects,
+        "extras": extras,
+        "packets": ctx.encode_packets(),
+    }
+
+    path = os.fspath(path)
+    parent = os.path.dirname(path) or "."
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent, suffix=".ckpt.tmp")
+    try:
+        with os.fdopen(fd, "wb") as raw:
+            # mtime=0 keeps identical state byte-identical on disk
+            with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as gz:
+                gz.write(json.dumps(doc, sort_keys=True).encode("utf-8"))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return sim.now
+
+
+# -- restore -----------------------------------------------------------------
+
+
+def load_checkpoint_doc(path) -> dict:
+    """Read and structurally validate a checkpoint file."""
+    try:
+        with gzip.open(path, "rb") as fh:
+            doc = json.loads(fh.read().decode("utf-8"))
+    except (OSError, ValueError, EOFError) as exc:
+        # EOFError: gzip stream truncated (a killed writer's torn file)
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(doc, dict) or "version" not in doc:
+        raise CheckpointError(f"{path} is not a checkpoint file")
+    if doc["version"] != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint version {doc['version']} != "
+            f"supported version {CHECKPOINT_VERSION}"
+        )
+    for section in ("meta", "eventq", "stats", "objects", "extras",
+                    "packets"):
+        if section not in doc:
+            raise CheckpointError(f"{path}: missing section {section!r}")
+    return doc
+
+
+def restore_checkpoint(sim, path) -> None:
+    """Overwrite *sim*'s dynamic state from the checkpoint at *path*.
+
+    The caller must have built *sim* identically to the saving process
+    (same config, same workloads attached); this is validated with the
+    structure digest.  Safe to call before or after ``startup()`` —
+    whatever initial events startup scheduled are discarded.
+    """
+    doc = load_checkpoint_doc(path)
+    sim.startup()
+
+    expect = structure_digest(sim)
+    if doc["meta"]["structure"] != expect:
+        raise CheckpointError(
+            f"checkpoint was taken on a differently built system "
+            f"(structure {doc['meta']['structure']} != {expect}); "
+            "rebuild with the same configuration to restore"
+        )
+
+    missing = [p for p in doc["objects"] if not _has_object(sim, p)]
+    if missing:
+        raise CheckpointError(f"objects missing from system: {missing[:5]}")
+
+    ctx = DeserializationContext(doc["packets"])
+    eventq = sim.eventq
+
+    # Drop everything startup scheduled; the checkpoint replaces it all.
+    eventq.clear()
+    for obj in sim.objects:
+        obj._ckpt_pending.clear()
+
+    eq = doc["eventq"]
+    eventq.cur_tick = eq["cur_tick"]
+    eventq._seq = eq["seq"]
+    eventq.executed = eq["executed"]
+    eventq.compactions = eq["compactions"]
+
+    sim.root_stats.load_state(doc["stats"])
+
+    by_path = {obj.path(): obj for obj in sim.objects}
+    for obj_path, section in doc["objects"].items():
+        obj = by_path[obj_path]
+        obj.unserialize(section["state"], ctx)
+        named = obj.ckpt_named_events()
+        for name, entry in section["named_events"].items():
+            if name not in named:
+                raise CheckpointError(
+                    f"{obj_path}: unknown named event {name!r}"
+                )
+            if entry is not None:
+                tick, pri, seq = entry
+                eventq.restore_entry(named[name], tick, pri, seq)
+        for tev in section["tagged_events"]:
+            event = obj.make_ckpt_event(
+                tev["kind"], ctx.unpack(tev["payload"]), tev["name"]
+            )
+            eventq.restore_entry(
+                event, tev["tick"], tev["priority"], tev["seq"]
+            )
+
+    for name, state in doc["extras"].items():
+        if name not in sim.extras:
+            raise CheckpointError(f"extra {name!r} missing from system")
+        sim.extras[name].unserialize(state, ctx)
+
+    set_next_packet_id(doc["meta"]["next_pkt_id"])
+
+
+def _has_object(sim, path: str) -> bool:
+    try:
+        sim.find(path)
+    except KeyError:
+        return False
+    return True

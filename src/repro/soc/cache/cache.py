@@ -154,11 +154,9 @@ class Cache(SimObject):
                 self._tags[set_idx][tag] = True
                 self._tags[set_idx].move_to_end(tag)
             else:
-                self.sim.eventq.schedule_fn(
-                    lambda p=pkt: self._send_downstream(p),
-                    self.now + delay,
-                    EventPriority.DEFAULT,
-                    name=f"{self.name}.wb_fwd",
+                self.sched_ckpt(
+                    "wb_fwd", pkt, self.now + delay,
+                    EventPriority.DEFAULT, name=f"{self.name}.wb_fwd",
                 )
             return True
 
@@ -197,11 +195,9 @@ class Cache(SimObject):
             if pkt.is_write:
                 set_idx, tag = self._set_and_tag(pkt.addr)
                 self._tags[set_idx][tag] = True
-            self.sim.eventq.schedule_fn(
-                lambda p=pkt: self._respond(p),
-                self.now + delay,
-                EventPriority.DEFAULT,
-                name=f"{self.name}.hit_resp",
+            self.sched_ckpt(
+                "hit_resp", pkt, self.now + delay,
+                EventPriority.DEFAULT, name=f"{self.name}.hit_resp",
             )
             return True
 
@@ -242,11 +238,9 @@ class Cache(SimObject):
             )
         fill = Packet(MemCmd.ReadReq, block_addr, BLOCK, requestor=self.name)
         fill.meta["fill_for"] = self.name
-        self.sim.eventq.schedule_fn(
-            lambda p=fill: self._send_downstream(p),
-            self.now + delay,
-            EventPriority.DEFAULT,
-            name=f"{self.name}.fill_req",
+        self.sched_ckpt(
+            "fill_req", fill, self.now + delay,
+            EventPriority.DEFAULT, name=f"{self.name}.fill_req",
         )
         return True
 
@@ -371,6 +365,61 @@ class Cache(SimObject):
     def mshr_occupancy(self) -> int:
         return len(self._mshrs)
 
+    # -- checkpointing -------------------------------------------------------------------------
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        if kind in ("wb_fwd", "fill_req"):
+            self._send_downstream(payload)
+        elif kind == "hit_resp":
+            self._respond(payload)
+        else:
+            super().ckpt_dispatch(kind, payload)
+
+    def serialize(self, ctx) -> dict:
+        state = {
+            # per-set [tag, dirty] pairs in LRU order (insertion order)
+            "tags": [[[tag, dirty] for tag, dirty in tags.items()]
+                     for tags in self._tags],
+            "mshrs": [
+                {
+                    "block_addr": mshr.block_addr,
+                    "targets": [ctx.pack(t) for t in mshr.targets],
+                    "is_prefetch": mshr.is_prefetch,
+                    "issued_tick": mshr.issued_tick,
+                }
+                for mshr in self._mshrs.values()
+            ],
+            "downstream_q": [ctx.pack(p) for p in self._downstream_q],
+            "blocked_resps": [ctx.pack(p) for p in self._blocked_resps],
+            "need_retry": self._need_retry,
+            "prefetched": sorted(self._prefetched),
+        }
+        if self.prefetcher is not None:
+            state["prefetcher"] = self.prefetcher.state_dict()
+        return state
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self._tags = [
+            OrderedDict((tag, dirty) for tag, dirty in pairs)
+            for pairs in state["tags"]
+        ]
+        self._mshrs = {}
+        for mstate in state["mshrs"]:
+            mshr = MSHR(mstate["block_addr"], mstate["is_prefetch"],
+                        mstate["issued_tick"])
+            mshr.targets = [ctx.unpack(t) for t in mstate["targets"]]
+            self._mshrs[mstate["block_addr"]] = mshr
+        self._downstream_q = deque(
+            ctx.unpack(p) for p in state["downstream_q"]
+        )
+        self._blocked_resps = deque(
+            ctx.unpack(p) for p in state["blocked_resps"]
+        )
+        self._need_retry = state["need_retry"]
+        self._prefetched = set(state["prefetched"])
+        if self.prefetcher is not None:
+            self.prefetcher.load_state(state["prefetcher"])
+
 
 class BasePrefetcher:
     """Interface for prefetchers attachable to a :class:`Cache`."""
@@ -380,6 +429,12 @@ class BasePrefetcher:
 
     def notify_miss(self, addr: int) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state(self, state: dict) -> None:
+        pass
 
 
 class StridePrefetcher(BasePrefetcher):
@@ -417,3 +472,15 @@ class StridePrefetcher(BasePrefetcher):
                 target = (block + i * self._stride) * BLOCK
                 if target >= 0:
                     self.cache.issue_prefetch(target)
+
+    def state_dict(self) -> dict:
+        return {
+            "last_block": self._last_block,
+            "stride": self._stride,
+            "confidence": self._confidence,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._last_block = state["last_block"]
+        self._stride = state["stride"]
+        self._confidence = state["confidence"]

@@ -381,13 +381,9 @@ class OoOCore(SimObject):
         self.st_sleep_cycles.inc(cycles)
         self.st_cycles.inc(cycles)
         self._cycle += cycles
-
-        def wake() -> None:
-            self._sleeping = False
-            self.schedule_cycles(self._cycle_event, 1, EventPriority.CLOCK)
-
-        self.sim.eventq.schedule_fn(
-            wake,
+        self.sched_ckpt(
+            "wake",
+            None,
             self.now + self.clock.cycles_to_ticks(cycles),
             EventPriority.CLOCK,
             name=f"{self.name}.wake",
@@ -401,3 +397,81 @@ class OoOCore(SimObject):
     def ipc(self) -> float:
         cycles = self.st_cycles.value()
         return self.st_committed.value() / cycles if cycles else 0.0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        if kind == "wake":
+            self._sleeping = False
+            self.schedule_cycles(self._cycle_event, 1, EventPriority.CLOCK)
+        else:
+            super().ckpt_dispatch(kind, payload)
+
+    def ckpt_named_events(self):
+        return {"cycle": self._cycle_event}
+
+    def ckpt_veto(self):
+        if self._stream_stack:
+            return "mid-interrupt handler (nested µop stream)"
+        return None
+
+    def serialize(self, ctx) -> dict:
+        # ROB entries are shared between _rob, _inflight and _alu_done;
+        # the index into _rob is the canonical reference.
+        rob = list(self._rob)
+        index = {id(entry): i for i, entry in enumerate(rob)}
+        return {
+            "rob": [[e.kind, e.done] for e in rob],
+            "ldq_used": self._ldq_used,
+            "stq_used": self._stq_used,
+            "inflight": {str(pkt_id): index[id(entry)]
+                         for pkt_id, entry in self._inflight.items()},
+            "alu_done": [[cyc, index[id(entry)]]
+                         for cyc, entry in self._alu_done],
+            "stall_until": self._stall_until,
+            "mem_blocked_pkt": ctx.pack(self._mem_blocked_pkt),
+            "fetch_outstanding": ctx.pack(self._fetch_outstanding),
+            "fetch_blocked": self._fetch_blocked,
+            "sleeping": self._sleeping,
+            "done": self.done,
+            "cycle": self._cycle,
+            "draining_for_irq": self._draining_for_irq,
+            "pending_irqs": ctx.pack([list(h) for h in self._pending_irqs]),
+            "has_stream": self.stream is not None,
+            "stream_consumed": self.stream.consumed if self.stream else 0,
+            "commit_wire": self.commit_wire.count,
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        rob = [_RobEntry(kind) for kind, _done in state["rob"]]
+        for entry, (_kind, done) in zip(rob, state["rob"]):
+            entry.done = done
+        self._rob = deque(rob)
+        self._ldq_used = state["ldq_used"]
+        self._stq_used = state["stq_used"]
+        self._inflight = {int(pkt_id): rob[i]
+                          for pkt_id, i in state["inflight"].items()}
+        self._alu_done = [(cyc, rob[i]) for cyc, i in state["alu_done"]]
+        self._stall_until = state["stall_until"]
+        self._mem_blocked_pkt = ctx.unpack(state["mem_blocked_pkt"])
+        self._fetch_outstanding = ctx.unpack(state["fetch_outstanding"])
+        self._fetch_blocked = state["fetch_blocked"]
+        self._sleeping = state["sleeping"]
+        self.done = state["done"]
+        self._cycle = state["cycle"]
+        self._draining_for_irq = state["draining_for_irq"]
+        self._pending_irqs = deque(ctx.unpack(state["pending_irqs"]))
+        self._stream_stack = []
+        if state["has_stream"]:
+            if self.stream is None:
+                raise RuntimeError(
+                    f"{self.name}: checkpoint has an attached µop stream "
+                    "but none was re-attached before restore"
+                )
+            # The builder re-attached the same deterministic stream;
+            # fast-forward it to the checkpointed position.
+            for _ in range(state["stream_consumed"]):
+                self.stream.pop()
+        else:
+            self.stream = None
+        self.commit_wire.count = state["commit_wire"]

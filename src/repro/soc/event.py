@@ -202,6 +202,55 @@ class EventQueue:
             self.deschedule(event)
         return self.schedule(event, tick, priority)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def live_entries(self) -> list[tuple[int, int, int, _Handle]]:
+        """Live heap entries in firing order (checkpoint engine use)."""
+        return sorted(
+            (entry for entry in self._heap if entry[3].alive),
+            key=lambda e: e[:3],
+        )
+
+    def clear(self) -> None:
+        """Drop every pending event (checkpoint restore).
+
+        Each handle is explicitly killed: Event objects out in component
+        state still point at their handles, and a stale live handle would
+        leave ``Event.scheduled`` True, making a later re-schedule raise.
+        """
+        for entry in self._heap:
+            entry[3].alive = False
+        self._heap.clear()
+        self._live = 0
+
+    def restore_entry(
+        self, event: Event, tick: int, priority: int, seq: int
+    ) -> Event:
+        """Re-insert *event* with its original (tick, priority, seq).
+
+        Unlike :meth:`schedule` this preserves the checkpointed sequence
+        number, so same-tick/same-priority events fire in exactly the
+        order they would have in the uninterrupted run.
+        """
+        if event.scheduled:
+            raise RuntimeError(f"{event.name} is already scheduled")
+        handle = _Handle(tick, event.callback, event.name)
+        event._entry = handle
+        heapq.heappush(self._heap, (tick, priority, seq, handle))
+        if seq >= self._seq:
+            self._seq = seq + 1
+        self._live += 1
+        return event
+
+    def peek(self) -> Optional[tuple[int, str]]:
+        """(tick, name) of the earliest live event, or None (diagnostics)."""
+        heap = self._heap
+        while heap and not heap[0][3].alive:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return (heap[0][0], heap[0][3].name)
+
     def next_event_tick(self) -> Optional[int]:
         """Tick of the earliest live event, or None if the queue is empty.
 

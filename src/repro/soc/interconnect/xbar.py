@@ -77,6 +77,9 @@ class Crossbar(SimObject):
         # upstream ports we owe a request-retry, in arrival order
         self._pending_retries: deque[int] = deque()
         self._retry_rejected = False
+        # fault injection (repro.resilience): while True, every request
+        # is rejected as if the target queue were full
+        self.fault_reject = False
 
         s = self.stats
         self.st_reqs = s.scalar("requests", "requests forwarded")
@@ -124,7 +127,7 @@ class Crossbar(SimObject):
     def _recv_req(self, pkt: Packet, cpu_idx: int) -> bool:
         mem_idx = self.route(pkt.addr)
         queue = self._req_q[mem_idx]
-        if len(queue) >= self.queue_depth:
+        if self.fault_reject or len(queue) >= self.queue_depth:
             self.st_rejects.inc()
             self._retry_rejected = True
             if cpu_idx not in self._pending_retries:
@@ -162,11 +165,9 @@ class Crossbar(SimObject):
         # exceeds the serialisation time.
         occupancy = max(1, (pkt.size + self.WIDTH_BYTES - 1) // self.WIDTH_BYTES)
         delay = self.clock.cycles_to_ticks(max(self.latency_cycles, occupancy))
-        self.sim.eventq.schedule_fn(
-            lambda i=mem_idx: self._forward_req(i),
-            self.now + delay,
-            EventPriority.DEFAULT,
-            name=f"{self.name}.fwd_req",
+        self.sched_ckpt(
+            "fwd_req", mem_idx, self.now + delay,
+            EventPriority.DEFAULT, name=f"{self.name}.fwd_req",
         )
 
     def _forward_req(self, mem_idx: int) -> None:
@@ -228,11 +229,9 @@ class Crossbar(SimObject):
         pkt = self._resp_q[cpu_idx][0]
         occupancy = max(1, (pkt.size + self.WIDTH_BYTES - 1) // self.WIDTH_BYTES)
         delay = self.clock.cycles_to_ticks(max(self.latency_cycles, occupancy))
-        self.sim.eventq.schedule_fn(
-            lambda i=cpu_idx: self._forward_resp(i),
-            self.now + delay,
-            EventPriority.DEFAULT,
-            name=f"{self.name}.fwd_resp",
+        self.sched_ckpt(
+            "fwd_resp", cpu_idx, self.now + delay,
+            EventPriority.DEFAULT, name=f"{self.name}.fwd_resp",
         )
 
     def _forward_resp(self, cpu_idx: int) -> None:
@@ -257,3 +256,33 @@ class Crossbar(SimObject):
 
     def _functional(self, pkt: Packet) -> None:
         self.mem_ports[self.route(pkt.addr)].send_functional(pkt)
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        if kind == "fwd_req":
+            self._forward_req(payload)
+        elif kind == "fwd_resp":
+            self._forward_resp(payload)
+        else:
+            super().ckpt_dispatch(kind, payload)
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "req_q": [[ctx.pack(p) for p in q] for q in self._req_q],
+            "resp_q": [[ctx.pack(p) for p in q] for q in self._resp_q],
+            "req_busy": list(self._req_busy),
+            "resp_busy": list(self._resp_busy),
+            "pending_retries": list(self._pending_retries),
+            "retry_rejected": self._retry_rejected,
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self._req_q = [deque(ctx.unpack(p) for p in q)
+                       for q in state["req_q"]]
+        self._resp_q = [deque(ctx.unpack(p) for p in q)
+                        for q in state["resp_q"]]
+        self._req_busy = list(state["req_busy"])
+        self._resp_busy = list(state["resp_busy"])
+        self._pending_retries = deque(state["pending_retries"])
+        self._retry_rejected = state["retry_rejected"]

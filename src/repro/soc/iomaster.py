@@ -74,6 +74,7 @@ class IOMaster(SimObject):
         if self._outstanding is not None or not self._queue:
             return
         pkt, callback = self._queue[0]
+        pkt.req_tick = self.now
         if FLAG_IO.enabled:
             tracepoint(
                 FLAG_IO, self.name, "issue %s #%d addr=%#x",
@@ -104,3 +105,29 @@ class IOMaster(SimObject):
             callback(pkt)
         self._try_issue()
         return True
+
+    # -- checkpointing ----------------------------------------------------
+
+    def ckpt_veto(self):
+        # A Python completion callback cannot be serialized; wait until
+        # the response lands.  Callback-free traffic (write_word streams)
+        # checkpoints fine mid-flight.
+        if any(cb is not None for _pkt, cb in self._queue):
+            return "queued MMIO request carries a host callback"
+        if self._outstanding is not None and self._outstanding[1] is not None:
+            return "outstanding MMIO request carries a host callback"
+        return None
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "queue": [ctx.pack(pkt) for pkt, _cb in self._queue],
+            "outstanding": (None if self._outstanding is None
+                            else ctx.pack(self._outstanding[0])),
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self._queue = deque(
+            (ctx.unpack(p), None) for p in state["queue"]
+        )
+        out = state["outstanding"]
+        self._outstanding = None if out is None else (ctx.unpack(out), None)

@@ -170,8 +170,8 @@ class _Channel:
             return
         self._scheduled = True
         when = max(self.ctrl.now, self.bus_busy_until)
-        self.ctrl.sim.eventq.schedule_fn(
-            self._service, when, EventPriority.DEFAULT,
+        self.ctrl.sched_ckpt(
+            "ch_service", self.index, when, EventPriority.DEFAULT,
             name=f"{self.ctrl.name}.ch{self.index}",
         )
 
@@ -238,23 +238,21 @@ class _Channel:
 
         self.ctrl.st_bytes.inc(pkt.size)
         if pkt.is_read:
-            self.ctrl.sim.eventq.schedule_fn(
-                lambda p=pkt: self.ctrl.complete_read(p),
-                done + _ns(cfg.frontend_ns),
-                EventPriority.DEFAULT,
-                name=f"{self.ctrl.name}.rd_done",
+            self.ctrl.sched_ckpt(
+                "rd_done", pkt, done + _ns(cfg.frontend_ns),
+                EventPriority.DEFAULT, name=f"{self.ctrl.name}.rd_done",
             )
         else:
             self.ctrl.st_writes_drained.inc()
         # Queue slot frees when the burst completes (backpressure).
-        self.ctrl.sim.eventq.schedule_fn(
-            self.ctrl.notify_slot_free, done, EventPriority.DEFAULT,
+        self.ctrl.sched_ckpt(
+            "slot_free", None, done, EventPriority.DEFAULT,
             name=f"{self.ctrl.name}.slot_free",
         )
         if self.read_q or self.write_q:
             self._scheduled = True
-            self.ctrl.sim.eventq.schedule_fn(
-                self._service, max(data_start, now + 1000),
+            self.ctrl.sched_ckpt(
+                "ch_service", self.index, max(data_start, now + 1000),
                 EventPriority.DEFAULT,
                 name=f"{self.ctrl.name}.ch{self.index}",
             )
@@ -293,6 +291,9 @@ class DRAMController(SimObject):
         self._blocked_resps: list[deque[Packet]] = [
             deque() for _ in range(cfg.channels)
         ]
+        # fault injection (repro.resilience): consulted before a read
+        # completes; a hook returning True swallows the completion
+        self.fault_hook = None
 
         s = self.stats
         self.st_reads = s.scalar("reads", "read requests accepted")
@@ -368,6 +369,8 @@ class DRAMController(SimObject):
         return True
 
     def complete_read(self, pkt: Packet) -> None:
+        if self.fault_hook is not None and self.fault_hook.on_dram_read(self, pkt):
+            return  # injected fault swallowed (dropped/delayed) this read
         if FLAG_DRAM.enabled:
             tracepoint(
                 FLAG_DRAM, self.name,
@@ -419,3 +422,52 @@ class DRAMController(SimObject):
             pkt.data = self.physmem.read(pkt.addr, pkt.size)
         elif pkt.data is not None:
             self.physmem.write(pkt.addr, pkt.data)
+
+    # -- checkpointing ------------------------------------------------------------
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        if kind == "ch_service":
+            self.channels[payload]._service()
+        elif kind == "rd_done":
+            self.complete_read(payload)
+        elif kind == "slot_free":
+            self.notify_slot_free()
+        else:
+            super().ckpt_dispatch(kind, payload)
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "channels": [
+                {
+                    "read_q": [ctx.pack(p) for p in ch.read_q],
+                    "write_q": [ctx.pack(p) for p in ch.write_q],
+                    "banks": [[b.open_row, b.busy_until] for b in ch.banks],
+                    "bus_busy_until": ch.bus_busy_until,
+                    "draining_writes": ch.draining_writes,
+                    "scheduled": ch._scheduled,
+                }
+                for ch in self.channels
+            ],
+            # sorted for deterministic bytes; pop order of a set of small
+            # ints depends only on its contents, not insertion order
+            "retry_pending": sorted(self._retry_pending),
+            "retry_rejected": self._retry_rejected,
+            "blocked_resps": [[ctx.pack(p) for p in q]
+                              for q in self._blocked_resps],
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        for ch, cstate in zip(self.channels, state["channels"]):
+            ch.read_q = deque(ctx.unpack(p) for p in cstate["read_q"])
+            ch.write_q = deque(ctx.unpack(p) for p in cstate["write_q"])
+            for bank, (open_row, busy_until) in zip(ch.banks, cstate["banks"]):
+                bank.open_row = open_row
+                bank.busy_until = busy_until
+            ch.bus_busy_until = cstate["bus_busy_until"]
+            ch.draining_writes = cstate["draining_writes"]
+            ch._scheduled = cstate["scheduled"]
+        self._retry_pending = set(state["retry_pending"])
+        self._retry_rejected = state["retry_rejected"]
+        self._blocked_resps = [
+            deque(ctx.unpack(p) for p in q) for q in state["blocked_resps"]
+        ]

@@ -72,11 +72,9 @@ class IdealMemory(SimObject):
             self.st_writes.inc()
         self.st_bytes.inc(pkt.size)
         delay = self.clock.cycles_to_ticks(self.latency_cycles)
-        self.sim.eventq.schedule_fn(
-            lambda p=pkt: self._respond(p),
-            self.now + delay,
-            EventPriority.DEFAULT,
-            name=f"{self.name}.resp",
+        self.sched_ckpt(
+            "resp", pkt, self.now + delay,
+            EventPriority.DEFAULT, name=f"{self.name}.resp",
         )
         return True
 
@@ -107,3 +105,18 @@ class IdealMemory(SimObject):
             pkt.data = self.physmem.read(pkt.addr, pkt.size)
         elif pkt.data is not None:
             self.physmem.write(pkt.addr, pkt.data)
+
+    # -- checkpointing ------------------------------------------------------
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        if kind == "resp":
+            self._respond(payload)
+        else:
+            super().ckpt_dispatch(kind, payload)
+
+    def serialize(self, ctx) -> dict:
+        return {"blocked": [[ctx.pack(p) for p in q] for q in self._blocked]}
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self._blocked = [[ctx.unpack(p) for p in q]
+                         for q in state["blocked"]]

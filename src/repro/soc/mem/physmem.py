@@ -66,3 +66,29 @@ class PhysicalMemory:
     def footprint(self) -> int:
         """Bytes of backing storage actually allocated."""
         return len(self._frames) * FRAME_SIZE
+
+    # -- checkpointing (registered as a Simulation "extra") ----------------
+
+    def serialize(self, ctx) -> dict:
+        import base64
+
+        return {
+            "size": self.size,
+            "frames": {
+                str(no): base64.b64encode(bytes(frame)).decode("ascii")
+                for no, frame in sorted(self._frames.items())
+            },
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        import base64
+
+        if state["size"] != self.size:
+            raise ValueError(
+                f"physmem size {self.size:#x} != checkpointed "
+                f"{state['size']:#x}"
+            )
+        self._frames = {
+            int(no): bytearray(base64.b64decode(data))
+            for no, data in state["frames"].items()
+        }

@@ -10,7 +10,6 @@ uses so that crossbars/caches can restore routing info on the way back.
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Any, Optional
 
 
@@ -56,7 +55,28 @@ class MemCmd(enum.Enum):
         return table[self]
 
 
-_packet_ids = itertools.count()
+# Process-wide packet id counter.  A plain int (not itertools.count) so
+# checkpoint restore can re-seed it and post-restore packets get the same
+# ids the uninterrupted run would have handed out.
+_next_pkt_id = 0
+
+
+def take_packet_id() -> int:
+    global _next_pkt_id
+    pkt_id = _next_pkt_id
+    _next_pkt_id += 1
+    return pkt_id
+
+
+def peek_packet_id() -> int:
+    """The id the next packet will receive (checkpointing)."""
+    return _next_pkt_id
+
+
+def set_next_packet_id(value: int) -> None:
+    """Re-seed the id counter (checkpoint restore)."""
+    global _next_pkt_id
+    _next_pkt_id = value
 
 
 class Packet:
@@ -85,7 +105,7 @@ class Packet:
         self.addr = addr
         self.size = size
         self.data = data
-        self.pkt_id = next(_packet_ids)
+        self.pkt_id = take_packet_id()
         self.req_tick: Optional[int] = None
         self.resp_tick: Optional[int] = None
         self.requestor = requestor

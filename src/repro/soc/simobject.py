@@ -25,11 +25,25 @@ class Simulation:
         self.objects: list[SimObject] = []
         self._started = False
         self.default_clock = ClockDomain(2e9, "cpu_clk")
+        # Non-SimObject checkpoint participants (physmem, page tables,
+        # host applications) keyed by a stable name.
+        self.extras: dict[str, object] = {}
 
     # -- object registry --------------------------------------------------
 
     def register(self, obj: "SimObject") -> None:
         self.objects.append(obj)
+
+    def register_extra(self, name: str, obj: object) -> None:
+        """Register a non-SimObject checkpoint participant.
+
+        *obj* must expose ``serialize(ctx)``/``unserialize(state, ctx)``.
+        Registration order (like the SimObject list) must be identical in
+        the saving and restoring process.
+        """
+        if name in self.extras:
+            raise ValueError(f"duplicate checkpoint extra {name!r}")
+        self.extras[name] = obj
 
     def find(self, path: str) -> "SimObject":
         for obj in self.objects:
@@ -60,6 +74,11 @@ class Simulation:
         from ..trace.control import attach_pending
 
         attach_pending(self)
+        # Same pattern for parked resilience hooks (--inject /
+        # --watchdog / --checkpoint-every from the CLI).
+        from ..resilience.control import attach_pending as attach_resilience
+
+        attach_resilience(self)
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         self.startup()
@@ -71,6 +90,22 @@ class Simulation:
 
     def stats_dump(self) -> dict:
         return self.root_stats.dump()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def save_checkpoint(self, path, max_wait: int = 10**9) -> int:
+        """Write a full-system checkpoint to *path*; returns the tick it
+        was taken at (may be later than ``now`` — see the engine docs)."""
+        from ..resilience.serialize import save_checkpoint
+
+        return save_checkpoint(self, path, max_wait=max_wait)
+
+    def restore(self, path) -> None:
+        """Overwrite this (identically built) simulation's state from a
+        checkpoint file."""
+        from ..resilience.serialize import restore_checkpoint
+
+        restore_checkpoint(self, path)
 
 
 class SimObject:
@@ -93,6 +128,9 @@ class SimObject:
         self.clock = clock or (parent.clock if parent else sim.default_clock)
         parent_group = parent.stats if parent else sim.root_stats
         self.stats = StatGroup(name, parent_group)
+        # Checkpoint-tracked one-shot events (see sched_ckpt).
+        self._ckpt_pending: dict = {}
+        self._ckpt_next_token = 0
         sim.register(self)
 
     # -- naming ------------------------------------------------------------
@@ -143,3 +181,96 @@ class SimObject:
         return self.sim.eventq.schedule(
             event, edge + self.clock.cycles_to_ticks(cycles), priority
         )
+
+    # -- checkpointing -----------------------------------------------------
+    #
+    # Two kinds of events survive a checkpoint:
+    #
+    # * *named* events — long-lived Event objects the component re-arms
+    #   itself (a core's cycle event, an RTL tick).  Expose them via
+    #   :meth:`ckpt_named_events`; the engine records tick/priority/seq
+    #   and re-schedules the same objects on restore.
+    # * *tagged* one-shots — transient callbacks that would otherwise be
+    #   closures (a cache fill completing, a DRAM read returning).
+    #   Schedule them with :meth:`sched_ckpt` and route the firing
+    #   through :meth:`ckpt_dispatch`; the (kind, payload) pair is what
+    #   gets serialized, and restore re-creates the event from it.
+    #
+    # Anything still scheduled through a bare closure is invisible to the
+    # engine, which then refuses to checkpoint (NotCheckpointable).
+
+    def sched_ckpt(
+        self,
+        kind: str,
+        payload,
+        when: int,
+        priority: int = EventPriority.DEFAULT,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Schedule a checkpoint-aware one-shot event.
+
+        The callback is ``self.ckpt_dispatch(kind, payload)``; *payload*
+        must be serializable by the checkpoint engine (JSON scalars,
+        lists, dicts, and Packet references).
+        """
+        event = self.make_ckpt_event(kind, payload, name)
+        self.sim.eventq.schedule(event, when, priority)
+        return event
+
+    def make_ckpt_event(
+        self, kind: str, payload, name: Optional[str] = None
+    ) -> Event:
+        """Create (without scheduling) a tagged event; restore path."""
+        token = self._ckpt_next_token
+        self._ckpt_next_token += 1
+
+        def fire() -> None:
+            self._ckpt_pending.pop(token, None)
+            self.ckpt_dispatch(kind, payload)
+
+        event = Event(fire, name or f"{self.name}.{kind}")
+        self._ckpt_pending[token] = (kind, payload, event)
+        return event
+
+    def ckpt_dispatch(self, kind: str, payload) -> None:
+        """Run the action behind a :meth:`sched_ckpt` event."""
+        raise NotImplementedError(
+            f"{type(self).__name__} got ckpt event {kind!r} "
+            "but does not implement ckpt_dispatch"
+        )
+
+    def ckpt_events(self):
+        """Yield (kind, payload, event) for every pending tagged event."""
+        for kind, payload, event in self._ckpt_pending.values():
+            yield kind, payload, event
+
+    def ckpt_named_events(self) -> dict[str, Event]:
+        """Long-lived re-armable events, keyed by a stable name."""
+        return {}
+
+    def ckpt_veto(self) -> Optional[str]:
+        """Reason this object cannot be checkpointed right now, or None.
+
+        Used for transient state that cannot be serialized (e.g. a
+        pending host callback); the engine steps the simulation forward
+        until every veto clears.
+        """
+        return None
+
+    def serialize(self, ctx) -> dict:
+        """JSON-able snapshot of this object's dynamic state.
+
+        *ctx* is a :class:`~repro.resilience.serialize.SerializationContext`
+        — use ``ctx.pack(value)`` for anything that may contain Packets.
+        Stats are handled generically by the engine; stateless objects
+        keep this default.
+        """
+        return {}
+
+    def unserialize(self, state: dict, ctx) -> None:
+        """Restore a :meth:`serialize` snapshot."""
+        if state:
+            raise NotImplementedError(
+                f"{type(self).__name__} checkpointed state but does not "
+                "implement unserialize"
+            )

@@ -35,6 +35,15 @@ class Stat:
         """(suffix, value) pairs for flat dumping; scalar stats yield one."""
         yield "", self.value()
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> Optional[dict]:
+        """JSON-able internal state, or None for stateless stats."""
+        return None
+
+    def load_state(self, state: dict) -> None:
+        raise NotImplementedError(f"{type(self).__name__} holds no state")
+
 
 class Scalar(Stat):
     """A simple accumulating counter."""
@@ -58,6 +67,12 @@ class Scalar(Stat):
     def __iadd__(self, amount: Number) -> "Scalar":
         self.inc(amount)
         return self
+
+    def state_dict(self) -> dict:
+        return {"value": self._value}
+
+    def load_state(self, state: dict) -> None:
+        self._value = state["value"]
 
 
 class Vector(Stat):
@@ -92,6 +107,17 @@ class Vector(Stat):
         for i, v in enumerate(self._values):
             yield f"::{i}", v
         yield "::total", self.total()
+
+    def state_dict(self) -> dict:
+        return {"values": list(self._values)}
+
+    def load_state(self, state: dict) -> None:
+        if len(state["values"]) != len(self._values):
+            raise ValueError(
+                f"vector {self.name}: size {len(self._values)} != "
+                f"checkpointed size {len(state['values'])}"
+            )
+        self._values = list(state["values"])
 
 
 class Distribution(Stat):
@@ -167,6 +193,32 @@ class Distribution(Stat):
         yield "::count", self._count
         yield "::mean", self.mean()
         yield "::stdev", self.stdev()
+
+    def state_dict(self) -> dict:
+        return {
+            "buckets": list(self._buckets),
+            "underflow": self.underflow,
+            "overflow": self.overflow,
+            "count": self._count,
+            "sum": self._sum,
+            "sum_sq": self._sum_sq,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    def load_state(self, state: dict) -> None:
+        if len(state["buckets"]) != len(self._buckets):
+            raise ValueError(
+                f"distribution {self.name}: bucket count mismatch"
+            )
+        self._buckets = list(state["buckets"])
+        self.underflow = state["underflow"]
+        self.overflow = state["overflow"]
+        self._count = state["count"]
+        self._sum = state["sum"]
+        self._sum_sq = state["sum_sq"]
+        self._min = state["min"]
+        self._max = state["max"]
 
 
 class Formula(Stat):
@@ -253,6 +305,37 @@ class StatGroup:
         out = self.dump()
         self.reset()
         return out
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Recursive JSON-able snapshot of every stateful stat."""
+        stats = {}
+        for name, stat in self.stats.items():
+            state = stat.state_dict()
+            if state is not None:
+                stats[name] = state
+        return {
+            "stats": stats,
+            "children": {
+                name: child.state_dict()
+                for name, child in self.children.items()
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto an identically
+        shaped tree (the group/stat structure must already exist)."""
+        for name, stat_state in state["stats"].items():
+            if name not in self.stats:
+                raise KeyError(f"unknown stat {name!r} in group {self.path()}")
+            self.stats[name].load_state(stat_state)
+        for name, child_state in state["children"].items():
+            if name not in self.children:
+                raise KeyError(
+                    f"unknown stat group {name!r} under {self.path()}"
+                )
+            self.children[name].load_state(child_state)
 
     def format_text(self) -> str:
         """Render an m5out-style stats.txt block."""

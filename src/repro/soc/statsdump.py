@@ -65,3 +65,20 @@ class StatsDumper(SimObject):
         """Extract one statistic's time series from the snapshots."""
         return [(tick, flat[key]) for tick, flat in self.snapshots
                 if key in flat]
+
+    # -- checkpointing ----------------------------------------------------
+
+    def ckpt_named_events(self):
+        return {"dump": self._event}
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "snapshots": ctx.pack([[t, flat] for t, flat in self.snapshots]),
+            "running": self._running,
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self.snapshots = [
+            (t, flat) for t, flat in ctx.unpack(state["snapshots"])
+        ]
+        self._running = state["running"]

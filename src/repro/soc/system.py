@@ -183,6 +183,11 @@ class SoC:
         self._io_xbar = Crossbar(self.sim, "iobus", latency_cycles=1)
         self.iomaster.port.connect(self._io_xbar.new_cpu_port())
 
+        # functional state participates in checkpoints as "extras"
+        self.sim.register_extra("physmem", self.physmem)
+        self.sim.register_extra("page_table", self.page_table)
+        self.watchdog = None
+
     # -- RTLObject attachment ------------------------------------------------
 
     def attach_rtl_cpu_side(self, rtl_obj, port_idx: int = 0,
@@ -208,6 +213,25 @@ class SoC:
     def new_tlb(self, name: str = "dev_tlb") -> TLB:
         return TLB(self.sim, name, page_table=self.page_table)
 
+    # -- resilience ----------------------------------------------------------
+
+    def attach_watchdog(self, **kwargs):
+        """Create (once) and return a hang watchdog for this system."""
+        from ..resilience.watchdog import Watchdog
+
+        if self.watchdog is None:
+            self.watchdog = Watchdog(self.sim, **kwargs)
+            if self.sim._started:
+                self.watchdog.init()
+                self.watchdog.startup()
+        return self.watchdog
+
+    def save_checkpoint(self, path, max_wait: int = 10**9) -> int:
+        return self.sim.save_checkpoint(path, max_wait=max_wait)
+
+    def restore(self, path) -> None:
+        self.sim.restore(path)
+
     # -- convenience ------------------------------------------------------------
 
     def load_memory(self, addr: int, data: bytes) -> None:
@@ -227,12 +251,22 @@ class SoC:
         self.sim.startup()
         step = self.sim.default_clock.cycles_to_ticks(10_000)
         deadline = self.sim.now + max_ticks
+        # Step boundaries are aligned to absolute multiples of *step* so
+        # a run resumed from a checkpoint observes the same boundaries
+        # (and hence the same stop ticks) as an uninterrupted run.
         while not all(c.done for c in watch):
             if self.sim.now >= deadline:
-                raise TimeoutError(
-                    f"workload did not finish within {max_ticks} ticks"
+                progress = "; ".join(
+                    f"{c.name}: {'done' if c.done else 'running'}, "
+                    f"{int(c.st_committed.value())} committed"
+                    for c in watch
                 )
-            self.sim.run(until=min(self.sim.now + step, deadline))
+                raise TimeoutError(
+                    f"workload did not finish within {max_ticks} ticks "
+                    f"({progress})"
+                )
+            boundary = (self.sim.now // step + 1) * step
+            self.sim.run(until=min(boundary, deadline))
         if extra_ticks:
             self.sim.run(until=self.sim.now + extra_ticks)
         return self.sim.now

@@ -43,6 +43,14 @@ class PageTable:
             return None
         return (ppn << self.page_bits) | (vaddr & (self.page_size - 1))
 
+    # -- checkpointing (registered as a Simulation "extra") ----------------
+
+    def serialize(self, ctx) -> dict:
+        return {"map": [[vpn, ppn] for vpn, ppn in sorted(self._map.items())]}
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self._map = {vpn: ppn for vpn, ppn in state["map"]}
+
 
 class TLB(SimObject):
     """Small fully-associative TLB with an LRU stack and a walk cost."""
@@ -101,3 +109,12 @@ class TLB(SimObject):
 
     def flush(self) -> None:
         self._tlb.clear()
+
+    # -- checkpointing ----------------------------------------------------
+
+    def serialize(self, ctx) -> dict:
+        # [vpn, ppn] pairs in LRU order (OrderedDict insertion order)
+        return {"tlb": [[vpn, ppn] for vpn, ppn in self._tlb.items()]}
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self._tlb = OrderedDict((vpn, ppn) for vpn, ppn in state["tlb"])

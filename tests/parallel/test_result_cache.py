@@ -1,6 +1,7 @@
 """ResultCache: keying, hits/misses, invalidation, corruption handling."""
 
 import json
+import pytest
 import os
 import time
 
@@ -58,8 +59,35 @@ class TestStore:
         key = c.key(x=1)
         c.put(key, 1)
         (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
-        assert c.get(key) is None
+        with pytest.warns(RuntimeWarning, match="corrupted cache entry"):
+            assert c.get(key) is None
         assert c.stats.errors == 1
+
+    def test_truncated_entry_is_a_miss_with_warning(self, tmp_path):
+        """A worker killed mid-`os.replace` window (or a torn disk
+        write) leaves a prefix of valid JSON; must warn, miss, and be
+        healable by a fresh put."""
+        c = ResultCache(tmp_path)
+        key = c.key(x=2)
+        c.put(key, {"ticks": 12345})
+        path = tmp_path / f"{key}.json"
+        blob = path.read_text(encoding="utf-8")
+        path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="treated as a miss"):
+            assert c.get(key) is None
+        assert c.stats.errors == 1 and c.stats.misses == 1
+        c.put(key, {"ticks": 12345})          # overwrite heals the entry
+        assert c.get(key) == {"ticks": 12345}
+
+    def test_wrong_shape_json_is_a_miss_with_warning(self, tmp_path):
+        """Valid JSON that is not our {meta, payload} dict (e.g. a bare
+        list) must be a warned miss, not a TypeError crash."""
+        c = ResultCache(tmp_path)
+        key = c.key(x=3)
+        for wrong in ("[1, 2, 3]", '"a string"', '{"meta": {}}'):
+            (tmp_path / f"{key}.json").write_text(wrong, encoding="utf-8")
+            with pytest.warns(RuntimeWarning):
+                assert c.get(key) is None
 
     def test_entry_file_is_inspectable_json(self, tmp_path):
         c = ResultCache(tmp_path)

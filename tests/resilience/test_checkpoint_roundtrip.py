@@ -1,0 +1,123 @@
+"""Full-config checkpoint round trips: PMU and NVDLA systems.
+
+The restore half runs in a **fresh subprocess** — the strongest form of
+the contract: nothing survives but the checkpoint file and the recipe
+for rebuilding an identical system.  The resumed run's final statistics
+must be bit-identical to an uninterrupted run's.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+# Each config: (builder source, save tick, settle tick).  The builder
+# code must define run_to_end(END) -> stats dict and save_at(tick, path);
+# both processes exec the same source so the systems are twins.
+PMU_SETUP = """
+from repro.dse.pmu_experiment import build_pmu_system
+
+soc, pmu, drv = build_pmu_system(n_sort=60, memory="DDR4-1ch")
+
+def save_at(tick, path):
+    soc.sim.startup()
+    soc.sim.run(until=tick)
+    return soc.save_checkpoint(path)
+
+def restore(path):
+    soc.restore(path)
+
+def run_to_end(end):
+    soc.run_until_done(max_ticks=10**9)
+    soc.sim.run(until=end)
+    pmu.stop()
+    return soc.sim.stats_dump()
+"""
+
+NVDLA_SETUP = """
+from repro.dse.nvdla_system import build_nvdla_system
+
+system = build_nvdla_system(workload="sanity3", n_nvdla=1,
+                            memory="DDR4-1ch", timed_load=False)
+soc = system.soc
+
+def save_at(tick, path):
+    for h in system.hosts:
+        h.start()
+    soc.sim.startup()
+    soc.sim.run(until=tick)
+    return soc.save_checkpoint(path)
+
+def restore(path):
+    # restore protocol: rebuild identically, re-attach the workload
+    # (start() is idempotent across the checkpoint), then load state
+    for h in system.hosts:
+        h.start()
+    soc.sim.startup()
+    soc.restore(path)
+
+def run_to_end(end):
+    system.run_to_completion()
+    soc.sim.run(until=end)
+    return soc.sim.stats_dump()
+"""
+
+CHILD_TEMPLATE = """
+import json, sys
+{setup}
+restore({ckpt_path!r})
+stats = run_to_end({end})
+with open({out_path!r}, "w") as fh:
+    json.dump({{"now": soc.sim.now, "stats": stats}}, fh)
+"""
+
+
+def _exec_setup(setup: str) -> dict:
+    ns: dict = {}
+    exec(setup, ns)
+    return ns
+
+
+def _restore_in_fresh_process(setup, ckpt_path, end, out_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    code = CHILD_TEMPLATE.format(setup=setup, ckpt_path=str(ckpt_path),
+                                 end=end, out_path=str(out_path))
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    with open(out_path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize(
+    "setup,save_tick,end",
+    [
+        pytest.param(PMU_SETUP, 300_000, 80_000_000, id="pmu"),
+        pytest.param(NVDLA_SETUP, 200_000, 12_000_000, id="nvdla"),
+    ],
+)
+def test_fresh_process_restore_is_bit_identical(tmp_path, setup,
+                                                save_tick, end):
+    # uninterrupted reference run
+    ref = _exec_setup(setup)
+    expected = ref["run_to_end"](end)
+    expected_now = ref["soc"].sim.now
+
+    # a second identical system checkpoints mid-run ...
+    saver = _exec_setup(setup)
+    ckpt = tmp_path / "mid.ckpt"
+    saved_tick = saver["save_at"](save_tick, ckpt)
+    assert saved_tick < end
+
+    # ... and a fresh python process restores and finishes the run
+    out = _restore_in_fresh_process(setup, ckpt, end, tmp_path / "out.json")
+    assert out["now"] == expected_now
+    mismatch = {k: (v, out["stats"].get(k))
+                for k, v in expected.items() if out["stats"].get(k) != v}
+    assert not mismatch, f"stats diverged after restore: {mismatch}"
+    assert len(out["stats"]) == len(expected)

@@ -1,0 +1,157 @@
+"""Checkpoint engine unit tests: format, validation, bit-identity."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.resilience.serialize import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    NotCheckpointable,
+    checkpoint_blockers,
+    structure_digest,
+)
+from repro.soc.cpu.uop import alu, load, store
+from repro.soc.event import Event
+from repro.soc.system import SoC, SoCConfig
+
+
+def _workload(n=600):
+    uops = []
+    for i in range(n):
+        uops.append(load(0x1000 + (i * 64) % 8192))
+        uops.append(alu(1))
+        uops.append(store(0x40000 + (i * 64) % 8192))
+    return uops
+
+
+def _build(num_cores=1):
+    soc = SoC(SoCConfig(num_cores=num_cores, memory="DDR4-1ch"))
+    for core in soc.cores:
+        core.run_stream(iter(_workload()))
+    return soc
+
+
+END = 6_000_000  # ticks; past the workload for a 1-core DDR4-1ch system
+
+
+class TestRoundTrip:
+    def test_mid_run_roundtrip_is_bit_identical(self, tmp_path):
+        """save at an arbitrary mid-run tick -> restore on a freshly
+        built twin -> continue: identical final tick and statistics."""
+        ref = _build()
+        ref.run_until_done(max_ticks=10**9)
+        ref.sim.run(until=END)
+        expected = ref.sim.stats_dump()
+
+        saver = _build()
+        saver.sim.startup()
+        saver.sim.run(until=150_000)
+        path = tmp_path / "mid.ckpt"
+        saver.save_checkpoint(path)
+
+        resumed = _build()
+        resumed.restore(path)
+        assert resumed.sim.now == saver.sim.now
+        resumed.run_until_done(max_ticks=10**9)
+        resumed.sim.run(until=END)
+
+        assert resumed.sim.now == ref.sim.now
+        assert resumed.sim.stats_dump() == expected
+
+    def test_checkpoint_includes_save_tick(self, tmp_path):
+        soc = _build()
+        soc.sim.startup()
+        soc.sim.run(until=100_000)
+        tick = soc.save_checkpoint(tmp_path / "a.ckpt")
+        assert tick >= 100_000  # may step past blockers, never back
+
+    def test_same_state_same_bytes(self, tmp_path):
+        """Two saves of the same instant are byte-identical (gzip mtime
+        pinned, keys sorted) — checkpoints are diffable artifacts."""
+        soc = _build()
+        soc.sim.startup()
+        soc.sim.run(until=100_000)
+        soc.save_checkpoint(tmp_path / "a.ckpt")
+        soc.save_checkpoint(tmp_path / "b.ckpt")
+        assert (tmp_path / "a.ckpt").read_bytes() == \
+            (tmp_path / "b.ckpt").read_bytes()
+
+
+class TestValidation:
+    def test_structure_digest_depends_on_topology(self):
+        assert structure_digest(_build(1).sim) != \
+            structure_digest(_build(2).sim)
+
+    def test_restore_rejects_different_system(self, tmp_path):
+        saver = _build(num_cores=1)
+        saver.sim.startup()
+        path = tmp_path / "one.ckpt"
+        saver.save_checkpoint(path)
+        other = _build(num_cores=2)
+        with pytest.raises(CheckpointError, match="differently built"):
+            other.restore(path)
+
+    def test_restore_rejects_unknown_version(self, tmp_path):
+        soc = _build()
+        soc.sim.startup()
+        path = tmp_path / "v.ckpt"
+        soc.save_checkpoint(path)
+        doc = json.loads(gzip.open(path).read())
+        doc["version"] = CHECKPOINT_VERSION + 1
+        with gzip.open(path, "wb") as fh:
+            fh.write(json.dumps(doc).encode())
+        with pytest.raises(CheckpointError, match="version"):
+            _build().restore(path)
+
+    def test_restore_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"\x00\x01 this is not a checkpoint")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            _build().restore(path)
+
+    def test_restore_rejects_non_checkpoint_json(self, tmp_path):
+        path = tmp_path / "list.ckpt"
+        with gzip.open(path, "wb") as fh:
+            fh.write(json.dumps([1, 2, 3]).encode())
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            _build().restore(path)
+
+    def test_truncated_checkpoint_is_an_error(self, tmp_path):
+        soc = _build()
+        soc.sim.startup()
+        path = tmp_path / "t.ckpt"
+        soc.save_checkpoint(path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError):
+            _build().restore(path)
+
+
+class TestBlockers:
+    def test_bare_closure_blocks_checkpoint(self, sim):
+        """An event the engine cannot attribute to a checkpoint hook
+        makes the instant non-checkpointable."""
+        ev = Event(lambda: None, "anonymous")
+        sim.startup()
+        sim.eventq.schedule(ev, sim.now + 100)
+        assert any("anonymous" in b for b in checkpoint_blockers(sim))
+
+    def test_perpetual_bare_event_raises(self, sim, tmp_path):
+        ev = Event(lambda: sim.eventq.schedule(ev, sim.now + 10),
+                   "self_rearming")
+        sim.startup()
+        sim.eventq.schedule(ev, sim.now + 10)
+        with pytest.raises(NotCheckpointable, match="self_rearming"):
+            sim.save_checkpoint(tmp_path / "never.ckpt", max_wait=1000)
+
+    def test_save_steps_past_transient_blocker(self, sim, tmp_path):
+        """A one-shot bare event only delays the save: the engine
+        services it, then checkpoints the next clean instant."""
+        fired = []
+        ev = Event(lambda: fired.append(True), "oneshot")
+        sim.startup()
+        sim.eventq.schedule(ev, sim.now + 500)
+        tick = sim.save_checkpoint(tmp_path / "later.ckpt")
+        assert fired and tick >= 500

@@ -1,0 +1,106 @@
+"""Watchdog: hang detection, classification, and structured reports."""
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultInjector, SimulationHang, Watchdog
+from repro.soc.cpu.uop import alu, load, store
+from repro.soc.system import SoC, SoCConfig
+
+
+def _mem_heavy_workload(n=2000):
+    """Loads over many distinct lines so DRAM sees a steady read stream."""
+    uops = []
+    for i in range(n):
+        uops.append(load(0x1000 + (i * 64) % (256 * 1024)))
+        uops.append(alu(1))
+        uops.append(store(0x100000 + (i * 64) % (64 * 1024)))
+    return uops
+
+
+def _build(plan=None, check_cycles=2_000, stall_checks=3):
+    soc = SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))
+    soc.cores[0].run_stream(iter(_mem_heavy_workload()))
+    if plan is not None:
+        FaultInjector(soc.sim, plan)  # registers itself on soc.sim
+    soc.attach_watchdog(check_cycles=check_cycles, stall_checks=stall_checks)
+    return soc
+
+
+class TestDetection:
+    def test_healthy_run_never_trips(self):
+        soc = _build()
+        soc.run_until_done(max_ticks=10**9)
+        assert soc.watchdog.st_checks.value() > 0
+
+    def test_dropped_dram_response_is_a_deadlock(self):
+        """Swallowing one DRAM read completion wedges an MSHR forever;
+        the watchdog must call it a deadlock and name the packet."""
+        soc = _build(FaultPlan.parse(["dram-drop@20"]))
+        with pytest.raises(SimulationHang) as err:
+            soc.run_until_done(max_ticks=10**9)
+        report = err.value.report
+        assert report.kind == "deadlock"
+        assert report.rejects_in_window == 0
+        # the report names the stalled core and at least one wedged packet
+        assert any(c.name == "cpu0" and not c.done for c in report.cores)
+        assert report.stalled_packets, report.format()
+        held_by = {p.where for p in report.stalled_packets}
+        assert held_by & {"l1d0", "l2_0", "llc"}, report.format()
+        assert report.mshr_counts
+
+    def test_detection_latency_is_bounded(self):
+        """The hang is reported within stall_checks+1 check intervals of
+        the stall beginning (the drop lands within the first interval)."""
+        check_cycles, stall_checks = 2_000, 3
+        soc = _build(FaultPlan.parse(["dram-drop@20"]),
+                     check_cycles=check_cycles, stall_checks=stall_checks)
+        with pytest.raises(SimulationHang) as err:
+            soc.run_until_done(max_ticks=10**9)
+        period = soc.sim.default_clock.period
+        budget = (stall_checks + 1) * check_cycles * period
+        assert err.value.report.tick <= budget, err.value.report.format()
+
+    def test_retry_storm_is_a_livelock(self):
+        soc = _build(FaultPlan.parse(["retry-storm@5000:0"]))
+        with pytest.raises(SimulationHang) as err:
+            soc.run_until_done(max_ticks=10**9)
+        report = err.value.report
+        assert report.kind == "livelock"
+        assert report.rejects_in_window > 0
+        assert report.events_fired_in_window > 0
+
+    def test_finite_storm_recovers(self):
+        """A bounded retry storm shorter than the trip threshold must
+        not trip — the system resumes when the storm lifts."""
+        soc = _build(FaultPlan.parse(["retry-storm@5000:2000"]),
+                     check_cycles=2_000, stall_checks=4)
+        soc.run_until_done(max_ticks=10**9)
+        assert soc.cores[0].done
+
+    def test_report_formats_to_text(self):
+        soc = _build(FaultPlan.parse(["dram-drop@20"]))
+        with pytest.raises(SimulationHang) as err:
+            soc.run_until_done(max_ticks=10**9)
+        text = err.value.report.format()
+        assert "deadlock detected at tick" in text
+        assert "stalled packets" in text
+        assert "cpu0" in text
+        # the exception message carries the full report for bare logs
+        assert str(err.value) == text
+
+
+class TestConfig:
+    def test_invalid_thresholds_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Watchdog(sim, check_cycles=0)
+        with pytest.raises(ValueError):
+            Watchdog(sim, stall_checks=0)
+
+    def test_attach_watchdog_is_idempotent(self):
+        soc = SoC(SoCConfig(num_cores=1, memory="DDR4-1ch"))
+        first = soc.attach_watchdog(check_cycles=5_000)
+        assert soc.attach_watchdog() is first
+
+    def test_timeout_error_subclass(self):
+        """run_until_done callers catching TimeoutError also see hangs."""
+        assert issubclass(SimulationHang, TimeoutError)
