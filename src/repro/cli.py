@@ -8,6 +8,8 @@ Commands
 ``table2``    PMU / waveform simulation-time overheads (paper Table 2)
 ``dse``       one NVDLA design-space-exploration subfigure (Figs. 6/7)
 ``table3``    full-system vs standalone overheads (paper Table 3)
+``verify``    RTL verification: ``lint`` / ``cover`` / ``fuzz`` /
+              ``equiv`` over the bundled designs (repro.verify)
 """
 
 from __future__ import annotations
@@ -276,6 +278,159 @@ def cmd_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_targets(names: list[str]):
+    """Resolve design-name arguments (empty = every bundled design)."""
+    from .verify import design_names, get_design
+
+    if not names:
+        names = design_names()
+    try:
+        return [get_design(n) for n in names]
+    except ValueError as err:
+        raise SystemExit(str(err))
+
+
+def _load_waivers(path: Optional[str]):
+    from .verify import parse_waiver_file
+
+    if not path:
+        return []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return parse_waiver_file(fh.read(), path)
+    except (OSError, ValueError) as err:
+        raise SystemExit(f"cannot load waivers: {err}")
+
+
+def _write_json(path: Optional[str], text: str) -> None:
+    if not path:
+        return
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text if text.endswith("\n") else text + "\n")
+    print(f"json report written to {path}")
+
+
+def cmd_verify_lint(args: argparse.Namespace) -> int:
+    from .verify import LintReport, lint_source
+
+    waivers = _load_waivers(args.waivers)
+    findings = []
+    if args.file:
+        for path in args.file:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+            except OSError as err:
+                raise SystemExit(f"cannot read {path}: {err}")
+            findings.extend(
+                lint_source(source, path, waivers=waivers).findings
+            )
+    else:
+        for design in _verify_targets(args.design):
+            findings.extend(
+                lint_source(design.source(), design.filename,
+                            design.frontend, waivers=waivers).findings
+            )
+    report = LintReport(findings)
+    print(report.format_text())
+    _write_json(args.json, report.to_json())
+    return 0 if report.clean else 1
+
+
+def _covered_report(design, backend: str, seed: int, cycles: int):
+    from .hdl.common import CoverageOptions
+    from .verify import CoverageCollector, Stimulus
+
+    sim = design.make_sim(backend=backend, instrument=CoverageOptions())
+    collector = CoverageCollector(sim)
+    Stimulus("uniform", seed, cycles).apply(sim, collector)
+    return collector.report()
+
+
+def cmd_verify_cover(args: argparse.Namespace) -> int:
+    import json as _json
+
+    status = 0
+    docs = []
+    for design in _verify_targets(args.design):
+        if args.backend == "both":
+            interp = _covered_report(design, "interp", args.seed, args.cycles)
+            report = _covered_report(design, "codegen", args.seed,
+                                     args.cycles)
+            a, b = interp.to_dict(), report.to_dict()
+            a.pop("backend"), b.pop("backend")
+            if a != b:
+                print(f"{design.name}: COVERAGE MISMATCH between backends "
+                      "(this is a simulator bug — please report it)")
+                status = 1
+                continue
+            print(f"{design.name}: interp and codegen coverage identical")
+        else:
+            report = _covered_report(design, args.backend, args.seed,
+                                     args.cycles)
+        print(report.format_text())
+        docs.append(report.to_dict())
+    _write_json(args.json, _json.dumps(docs, indent=2, sort_keys=True))
+    return status
+
+
+def cmd_verify_fuzz(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .hdl.common import CoverageOptions
+    from .verify import fuzz, save_corpus
+
+    status = 0
+    docs = []
+    for design in _verify_targets(args.design):
+        result = fuzz(
+            lambda: design.make_sim(instrument=CoverageOptions()),
+            seed=args.seed, runs=args.runs, cycles=args.cycles,
+        )
+        stmt = result.summary["statement"]
+        print(f"{design.name}: fuzz seed={args.seed}: "
+              f"{len(result.corpus)} corpus entries from {result.runs} "
+              f"runs; statement {stmt['covered']}/{stmt['total']} "
+              f"({stmt['pct']}%), "
+              f"toggle {result.summary['toggle']['pct']}%")
+        if args.corpus_dir:
+            os.makedirs(args.corpus_dir, exist_ok=True)
+            path = os.path.join(args.corpus_dir, f"{design.name}.json")
+            save_corpus(path, design.name, args.seed, result)
+            print(f"  corpus written to {path}")
+        if args.min_statement is not None and \
+                stmt["pct"] < args.min_statement:
+            print(f"  FAIL: statement coverage {stmt['pct']}% below "
+                  f"required {args.min_statement}%")
+            status = 1
+        docs.append({"design": design.name, "seed": args.seed,
+                     "corpus": len(result.corpus), **result.summary})
+    _write_json(args.json, _json.dumps(docs, indent=2, sort_keys=True))
+    return status
+
+
+def cmd_verify_equiv(args: argparse.Namespace) -> int:
+    from .verify import check_equivalence, load_corpus
+
+    status = 0
+    for design in _verify_targets(args.design):
+        corpus = []
+        if args.corpus_dir:
+            path = os.path.join(args.corpus_dir, f"{design.name}.json")
+            if os.path.exists(path):
+                corpus = load_corpus(path)
+        result = check_equivalence(
+            lambda backend: design.make_sim(backend=backend),
+            design=design.name, stimuli=corpus, seed=args.seed,
+            random_runs=args.runs, cycles=args.cycles,
+        )
+        print(result.format())
+        if not result.ok:
+            status = 1
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -397,6 +552,75 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_opts(p)
     add_resilience_opts(p)
     p.set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser(
+        "verify",
+        help="RTL verification: lint, coverage, fuzz, equivalence",
+    )
+    vsub = p.add_subparsers(dest="verify_command", required=True)
+
+    def add_design_arg(vp: argparse.ArgumentParser) -> None:
+        vp.add_argument("design", nargs="*", default=[],
+                        help="bundled design name(s): pmu, bitonic, "
+                             "rtlcache (default: all)")
+
+    vp = vsub.add_parser("lint", help="static lint (waivable findings)")
+    add_design_arg(vp)
+    vp.add_argument("--file", action="append", default=[], metavar="PATH",
+                    help="lint an HDL file instead of a bundled design "
+                         "(frontend chosen by extension; repeatable)")
+    vp.add_argument("--waivers", default=None, metavar="PATH",
+                    help="waiver file of RULE[:FILE_GLOB[:LINE]] entries")
+    vp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the findings as JSON")
+    vp.set_defaults(fn=cmd_verify_lint)
+
+    vp = vsub.add_parser(
+        "cover", help="statement/toggle/FSM coverage report"
+    )
+    add_design_arg(vp)
+    vp.add_argument("--backend", choices=("interp", "codegen", "both"),
+                    default="both",
+                    help="backend to run (both = also check the "
+                         "cross-backend identity invariant)")
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--cycles", type=int, default=256,
+                    help="stimulus length in clock cycles")
+    vp.add_argument("--json", default=None, metavar="PATH")
+    vp.set_defaults(fn=cmd_verify_cover)
+
+    vp = vsub.add_parser(
+        "fuzz", help="coverage-guided fuzz (deterministic, seeded)"
+    )
+    add_design_arg(vp)
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--runs", type=int, default=32)
+    vp.add_argument("--cycles", type=int, default=64,
+                    help="cycles per fuzz run")
+    vp.add_argument("--corpus-dir", default=os.path.join(
+                        "benchmarks", "out", "corpus"),
+                    metavar="DIR",
+                    help="persist the minimised corpus here "
+                         "('' disables)")
+    vp.add_argument("--min-statement", type=float, default=None,
+                    metavar="PCT",
+                    help="fail unless statement coverage reaches PCT%%")
+    vp.add_argument("--json", default=None, metavar="PATH")
+    vp.set_defaults(fn=cmd_verify_fuzz)
+
+    vp = vsub.add_parser(
+        "equiv", help="interp vs codegen lockstep equivalence"
+    )
+    add_design_arg(vp)
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--runs", type=int, default=4,
+                    help="extra random stimuli beyond corners + corpus")
+    vp.add_argument("--cycles", type=int, default=64)
+    vp.add_argument("--corpus-dir", default=os.path.join(
+                        "benchmarks", "out", "corpus"),
+                    metavar="DIR",
+                    help="replay persisted fuzz corpora from here")
+    vp.set_defaults(fn=cmd_verify_equiv)
     return parser
 
 

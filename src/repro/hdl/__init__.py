@@ -3,6 +3,20 @@
 Both compile into :class:`repro.rtl.RTLModule` via the shared elaborator.
 """
 
-from .common import ElabError, HDLError, LexError, ParseError
+from .common import (
+    CoverageOptions,
+    ElabError,
+    HDLError,
+    HDLSyntaxError,
+    LexError,
+    ParseError,
+)
 
-__all__ = ["ElabError", "HDLError", "LexError", "ParseError"]
+__all__ = [
+    "CoverageOptions",
+    "ElabError",
+    "HDLError",
+    "HDLSyntaxError",
+    "LexError",
+    "ParseError",
+]

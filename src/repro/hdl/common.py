@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass(frozen=True)
@@ -41,23 +41,60 @@ class Token:
 
 
 class HDLError(Exception):
-    """Base class for all frontend errors."""
+    """Base class for all frontend errors.
+
+    ``message`` holds the bare diagnostic text (no location prefix) and
+    ``loc`` the source position, so tools can re-render the error in
+    their own format (e.g. ``repro verify lint`` turns syntax errors
+    into findings instead of tracebacks).
+    """
 
     def __init__(self, message: str, loc: Loc | None = None) -> None:
+        self.message = message
         self.loc = loc
         super().__init__(f"{loc}: {message}" if loc else message)
 
 
-class LexError(HDLError):
+class HDLSyntaxError(HDLError):
+    """A malformed-source error (lexing or parsing), for either frontend.
+
+    Both the Verilog and VHDL frontends raise subclasses of this one
+    shape: ``.message`` plus a ``.loc`` carrying file/line/column.
+    """
+
+
+class LexError(HDLSyntaxError):
     pass
 
 
-class ParseError(HDLError):
+class ParseError(HDLSyntaxError):
     pass
 
 
 class ElabError(HDLError):
     """Raised during elaboration (unknown names, bad widths, etc.)."""
+
+
+@dataclass(frozen=True)
+class CoverageOptions:
+    """What to instrument/collect when compiling a design for coverage.
+
+    ``statement`` affects elaboration (hidden per-statement hit counters
+    are compiled into the generated process code, so both execution
+    backends run identical instrumentation); ``fsm`` enables FSM
+    detection on sync ``case`` registers at elaboration time; ``toggle``
+    is observation-only (the collector samples settled values each
+    cycle) but is carried here so one options object configures a whole
+    coverage run.
+    """
+
+    statement: bool = True
+    toggle: bool = True
+    fsm: bool = True
+
+    def cache_token(self) -> tuple:
+        """Hashable identity for the elaboration cache key."""
+        return tuple(getattr(self, f.name) for f in fields(self))
 
 
 class TokenStream:

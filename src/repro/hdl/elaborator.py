@@ -31,8 +31,8 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from . import ast
-from .common import ElabError, Loc
-from ..rtl.kernel import Memory, RTLModule, Signal, mask_for
+from .common import CoverageOptions, ElabError, Loc
+from ..rtl.kernel import FSMInfo, Memory, RTLModule, Signal, mask_for
 
 
 @dataclass
@@ -92,16 +92,22 @@ class Elaborator:
         modules: dict[str, ast.ModuleDecl],
         top: str,
         params: Optional[dict[str, int]] = None,
+        instrument: Optional[CoverageOptions] = None,
     ) -> None:
         if top not in modules:
             raise ElabError(f"top module {top!r} not found (have: {sorted(modules)})")
         self.modules = modules
         self.top = top
         self.top_params = dict(params or {})
+        self.instrument = instrument
         self.rtl = RTLModule(top)
         self._proc_counter = 0
         self._sources: list[str] = []
         self._namespace: dict = {}
+        # statement-coverage emission state, active only while compiling
+        # an always/process body with instrument.statement on
+        self._cov_stmt = False
+        self._cov_label = ""
 
     # -- public -------------------------------------------------------------
 
@@ -561,6 +567,18 @@ class Elaborator:
             buf.emit("pass")
             return
         if isinstance(stmt, ast.Assign):
+            if self._cov_stmt:
+                # Statement coverage: a hidden counter incremented right
+                # before the assignment.  The increment is part of the
+                # process *source*, so the codegen backend inlines the
+                # identical instrumentation — both backends count the
+                # same executions by construction.  The line shape is
+                # deliberately inert under every codegen rewrite.
+                cov = self.rtl.add_coverage_point(
+                    self._cov_label, stmt.loc.filename, stmt.loc.line,
+                    stmt.loc.col,
+                )
+                buf.emit(f"v[{cov.index}] = v[{cov.index}] + 1")
             code, width, r, _ = self._compile_expr(stmt.rhs, scope)
             reads.update(r)
             nonblocking = (not stmt.blocking) and in_sync
@@ -681,14 +699,20 @@ class Elaborator:
         buf = _CodeBuf()
         writes: set[int] = set()
         reads: set[int] = set()
+        instrument_stmts = bool(self.instrument and self.instrument.statement)
         if item.sensitivity is None:
             fname = f"_comb_{self._proc_counter}"
-            self._compile_stmt(item.body, scope, buf, writes, reads, in_sync=False)
+            name = f"{scope.prefix}comb@{item.loc.line}"
+            self._cov_stmt, self._cov_label = instrument_stmts, name
+            try:
+                self._compile_stmt(item.body, scope, buf, writes, reads,
+                                   in_sync=False)
+            finally:
+                self._cov_stmt = False
             fn = self._materialize(
                 f"always@* {item.loc}", f"def {fname}(v, m):", buf
             )
-            self.rtl.add_comb(fn, reads, writes,
-                              name=f"{scope.prefix}comb@{item.loc.line}",
+            self.rtl.add_comb(fn, reads, writes, name=name,
                               source=_body_source(buf))
             return
         # Clocked process: first edge item is the clock.
@@ -697,7 +721,15 @@ class Elaborator:
         if not isinstance(ref, _SigRef):
             raise ElabError(f"clock {clock_item.name!r} is not a signal", item.loc)
         fname = f"_sync_{self._proc_counter}"
-        self._compile_stmt(item.body, scope, buf, writes, reads, in_sync=True)
+        name = f"{scope.prefix}sync@{item.loc.line}"
+        if self.instrument and self.instrument.fsm:
+            self._detect_fsms(item.body, scope)
+        self._cov_stmt, self._cov_label = instrument_stmts, name
+        try:
+            self._compile_stmt(item.body, scope, buf, writes, reads,
+                               in_sync=True)
+        finally:
+            self._cov_stmt = False
         fn = self._materialize(
             f"always@({clock_item.edge}edge {clock_item.name}) {item.loc}",
             f"def {fname}(v, m, nba, nbm):",
@@ -709,8 +741,85 @@ class Elaborator:
             edge=clock_item.edge or "pos",
             reads=reads,
             writes=writes,
-            name=f"{scope.prefix}sync@{item.loc.line}",
+            name=name,
             source=_body_source(buf),
+        )
+
+    # -- FSM detection ---------------------------------------------------------
+
+    def _detect_fsms(self, body: ast.Stmt, scope: _Scope) -> None:
+        """Infer state registers: ``case`` subjects that are registers
+        with constant match values, plus any constants assigned to them
+        in the same block.  Pure metadata — no generated code changes."""
+        case_states: dict[str, set[int]] = {}
+        const_assigns: dict[str, set[int]] = {}
+
+        def walk(s: ast.Stmt) -> None:
+            if isinstance(s, ast.Block):
+                for sub in s.stmts:
+                    walk(sub)
+            elif isinstance(s, ast.If):
+                walk(s.then)
+                if s.other is not None:
+                    walk(s.other)
+            elif isinstance(s, ast.For):
+                walk(s.body)
+            elif isinstance(s, ast.Case):
+                self._collect_case_states(s, scope, case_states)
+                for it in s.items:
+                    walk(it.body)
+            elif isinstance(s, ast.Assign) and isinstance(s.lhs, ast.LvId):
+                try:
+                    value = self._const_expr(s.rhs, scope)
+                except ElabError:
+                    return
+                const_assigns.setdefault(s.lhs.name, set()).add(value)
+
+        walk(body)
+        for name, states in case_states.items():
+            ref = scope.names.get(name)
+            if not isinstance(ref, _SigRef):
+                continue
+            all_states = {
+                s & ref.sig.mask
+                for s in states | const_assigns.get(name, set())
+            }
+            if len(all_states) < 2:
+                continue
+            self._record_fsm(ref.sig, all_states, body.loc)
+
+    def _collect_case_states(
+        self,
+        case: ast.Case,
+        scope: _Scope,
+        out: dict[str, set[int]],
+    ) -> None:
+        if not isinstance(case.subject, ast.Ident):
+            return
+        ref = scope.names.get(case.subject.name)
+        if not isinstance(ref, _SigRef) or ref.sig.width > 16:
+            return
+        states: set[int] = set()
+        for item in case.items:
+            for match in item.matches or ():
+                try:
+                    states.add(self._const_expr(match, scope))
+                except ElabError:
+                    return  # wildcard / non-constant match: not an FSM
+        out.setdefault(case.subject.name, set()).update(states)
+
+    def _record_fsm(self, sig: Signal, states: set[int], loc: Loc) -> None:
+        for i, info in enumerate(self.rtl.fsm_infos):
+            if info.index == sig.index:
+                merged = tuple(sorted(set(info.states) | states))
+                self.rtl.fsm_infos[i] = FSMInfo(
+                    info.signal, info.index, info.width, merged,
+                    info.file, info.line,
+                )
+                return
+        self.rtl.fsm_infos.append(
+            FSMInfo(sig.name, sig.index, sig.width, tuple(sorted(states)),
+                    loc.filename, loc.line)
         )
 
 
@@ -718,9 +827,10 @@ def elaborate(
     modules: dict[str, ast.ModuleDecl],
     top: str,
     params: Optional[dict[str, int]] = None,
+    instrument: Optional[CoverageOptions] = None,
 ) -> RTLModule:
     """Convenience wrapper: flatten + compile *top* with parameter overrides."""
-    return Elaborator(modules, top, params).elaborate()
+    return Elaborator(modules, top, params, instrument).elaborate()
 
 
 # ---------------------------------------------------------------------------
@@ -732,7 +842,8 @@ def elaborate(
 # elaboration dominates their setup time.  An elaborated RTLModule is
 # immutable during simulation (simulators copy fresh value/memory arrays
 # and never write the module), so identical compilations can share one
-# instance.  Keyed by (frontend, sha256(source), top, params).
+# instance.  Keyed by (frontend, sha256(source), top, params,
+# instrumentation options).
 #
 # Disable with REPRO_ELAB_CACHE=0 (or "off"), e.g. when a test mutates a
 # compiled module in place.
@@ -759,10 +870,16 @@ class ElabCache:
         source: str,
         top: Optional[str],
         params: Optional[dict[str, int]],
+        instrument: Optional[CoverageOptions] = None,
     ) -> tuple:
         digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
         folded = tuple(sorted((params or {}).items()))
-        return (frontend, digest, top, folded)
+        # Instrumentation changes the elaborated design (extra hidden
+        # counter signals, different process code), so it must be part
+        # of the identity — an instrumented build must never be served
+        # for a plain compile of the same source, or vice versa.
+        token = instrument.cache_token() if instrument is not None else None
+        return (frontend, digest, top, folded, token)
 
     def get_or_build(self, key: tuple, build) -> RTLModule:
         """Return the cached design for *key*, building it on a miss.

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...rtl.kernel import RTLModule
+from ..common import CoverageOptions
 from ..elaborator import ELAB_CACHE, elaborate
 from .lexer import tokenize
 from .parser import parse
@@ -22,16 +23,18 @@ def compile_verilog(
     top: Optional[str] = None,
     params: Optional[dict[str, int]] = None,
     filename: str = "<verilog>",
+    instrument: Optional[CoverageOptions] = None,
 ) -> RTLModule:
     """Parse + elaborate Verilog *source* into an executable RTLModule.
 
     ``top`` defaults to the sole module in the source (error if ambiguous),
     matching how Verilator requires the top module to be named only when
-    several candidates exist.
+    several candidates exist.  ``instrument`` compiles coverage
+    instrumentation into the design (see :mod:`repro.verify`).
 
-    Identical (source, top, params) compilations share one cached design
-    (disable with ``REPRO_ELAB_CACHE=0``); an elaborated RTLModule is
-    immutable during simulation, so sharing is safe.
+    Identical (source, top, params, instrument) compilations share one
+    cached design (disable with ``REPRO_ELAB_CACHE=0``); an elaborated
+    RTLModule is immutable during simulation, so sharing is safe.
     """
 
     def build() -> RTLModule:
@@ -43,10 +46,10 @@ def compile_verilog(
                     f"multiple modules {sorted(modules)}; specify top explicitly"
                 )
             resolved = next(iter(modules))
-        return elaborate(modules, resolved, params)
+        return elaborate(modules, resolved, params, instrument)
 
     return ELAB_CACHE.get_or_build(
-        ELAB_CACHE.key("verilog", source, top, params), build
+        ELAB_CACHE.key("verilog", source, top, params, instrument), build
     )
 
 
@@ -54,6 +57,8 @@ def compile_verilog_file(
     path: str,
     top: Optional[str] = None,
     params: Optional[dict[str, int]] = None,
+    instrument: Optional[CoverageOptions] = None,
 ) -> RTLModule:
     with open(path, "r", encoding="utf-8") as fh:
-        return compile_verilog(fh.read(), top, params, filename=path)
+        return compile_verilog(fh.read(), top, params, filename=path,
+                               instrument=instrument)

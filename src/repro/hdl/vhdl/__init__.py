@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...rtl.kernel import RTLModule
+from ..common import CoverageOptions
 from ..elaborator import ELAB_CACHE, elaborate
 from .lexer import tokenize
 from .parser import parse
@@ -21,14 +22,17 @@ def compile_vhdl(
     top: Optional[str] = None,
     params: Optional[dict[str, int]] = None,
     filename: str = "<vhdl>",
+    instrument: Optional[CoverageOptions] = None,
 ) -> RTLModule:
     """Parse + elaborate VHDL *source* into an executable RTLModule.
 
     ``top`` defaults to the sole entity with an architecture in the source.
     ``params`` overrides generics (GHDL's ``-gNAME=VALUE``).
+    ``instrument`` compiles coverage instrumentation into the design
+    (see :mod:`repro.verify`).
 
-    Identical (source, top, params) compilations share one cached design
-    (disable with ``REPRO_ELAB_CACHE=0``).
+    Identical (source, top, params, instrument) compilations share one
+    cached design (disable with ``REPRO_ELAB_CACHE=0``).
     """
     # VHDL is case-insensitive; the parser normalises to lower case.
     top = top.lower() if top is not None else None
@@ -43,10 +47,10 @@ def compile_vhdl(
                     f"multiple entities {sorted(modules)}; specify top explicitly"
                 )
             resolved = next(iter(modules))
-        return elaborate(modules, resolved, params)
+        return elaborate(modules, resolved, params, instrument)
 
     return ELAB_CACHE.get_or_build(
-        ELAB_CACHE.key("vhdl", source, top, params), build
+        ELAB_CACHE.key("vhdl", source, top, params, instrument), build
     )
 
 
@@ -54,6 +58,8 @@ def compile_vhdl_file(
     path: str,
     top: Optional[str] = None,
     params: Optional[dict[str, int]] = None,
+    instrument: Optional[CoverageOptions] = None,
 ) -> RTLModule:
     with open(path, "r", encoding="utf-8") as fh:
-        return compile_vhdl(fh.read(), top, params, filename=path)
+        return compile_vhdl(fh.read(), top, params, filename=path,
+                            instrument=instrument)

@@ -7,9 +7,12 @@ Public surface::
 
 from .codegen import CodegenProgram, build_program
 from .kernel import (
+    COVERAGE_PREFIX,
     CombLoopError,
     CombProcess,
+    CoveragePoint,
     Edge,
+    FSMInfo,
     Memory,
     RTLModule,
     Signal,
@@ -23,10 +26,13 @@ from .vcd import VCDWriter
 __all__ = [
     "AreaReport",
     "BACKENDS",
+    "COVERAGE_PREFIX",
     "CodegenProgram",
     "CombLoopError",
     "CombProcess",
+    "CoveragePoint",
     "Edge",
+    "FSMInfo",
     "Memory",
     "RTLModule",
     "RTLCheckpoint",

@@ -67,6 +67,41 @@ class Edge:
     NEG = "neg"
 
 
+#: name prefix of hidden instrumentation signals (coverage counters);
+#: they live in the value array like any signal but are excluded from
+#: waveforms, toggle coverage and user-facing introspection
+COVERAGE_PREFIX = "__cov__"
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One statement-coverage point: a hidden counter at ``index``.
+
+    The elaborator compiles ``v[index] = v[index] + 1`` into the
+    generated process source right before the covered statement, so the
+    interpreter and the codegen fast path (which inlines the same
+    source) count identically by construction.
+    """
+
+    label: str       # e.g. "u0.sync@47"
+    file: str
+    line: int
+    col: int
+    index: int       # slot in the module value array
+
+
+@dataclass(frozen=True)
+class FSMInfo:
+    """A state register inferred from a sync ``case`` statement."""
+
+    signal: str            # flattened signal name
+    index: int             # slot in the module value array
+    width: int
+    states: tuple[int, ...]  # known state encodings (sorted)
+    file: str
+    line: int
+
+
 @dataclass
 class CombProcess:
     """Combinational logic: runs whenever any read signal may have changed.
@@ -115,6 +150,10 @@ class RTLModule:
         self.sync_procs: list[SyncProcess] = []
         self.initial_values: dict[int, int] = {}
         self.initial_mem: dict[int, list[int]] = {}
+        #: statement-coverage counters compiled into process code
+        self.coverage_points: list[CoveragePoint] = []
+        #: state registers inferred during elaboration (case subjects)
+        self.fsm_infos: list[FSMInfo] = []
 
     # -- construction -----------------------------------------------------
 
@@ -171,7 +210,24 @@ class RTLModule:
         self.sync_procs.append(proc)
         return proc
 
+    def add_coverage_point(self, label: str, file: str, line: int,
+                           col: int = 0) -> Signal:
+        """Allocate a hidden statement-coverage counter signal."""
+        n = len(self.coverage_points)
+        sig = self.add_signal(f"{COVERAGE_PREFIX}stmt_{n}", 64)
+        self.coverage_points.append(
+            CoveragePoint(label, file, line, col, sig.index)
+        )
+        return sig
+
     # -- introspection ------------------------------------------------------
+
+    def visible_signals(self) -> list[Signal]:
+        """Signals excluding hidden instrumentation counters."""
+        return [
+            s for s in self.signals.values()
+            if not s.name.startswith(COVERAGE_PREFIX)
+        ]
 
     @property
     def inputs(self) -> list[Signal]:

@@ -96,6 +96,13 @@ class RTLSimulator:
         self._pos_procs = [p for p in module.sync_procs if p.edge == Edge.POS]
         self._neg_procs = [p for p in module.sync_procs if p.edge == Edge.NEG]
         self._sig_cache = module.signals
+        # Statement-coverage counters increment on every comb pass, so
+        # the iterative-settle fixpoint must be judged on the real
+        # signals only (counters never converge by design).
+        self._conv_idx: Optional[list[int]] = (
+            [s.index for s in module.visible_signals()]
+            if module.coverage_points else None
+        )
         if self._iterative:
             # verify convergence up front: a genuine zero-delay loop
             # oscillates and is reported here rather than mid-simulation
@@ -144,11 +151,13 @@ class RTLSimulator:
             for proc in self._levelized:
                 proc.fn(v, m)
             return
+        conv = self._conv_idx
         for _ in range(self.MAX_SETTLE_PASSES):
-            before = list(v)
+            before = list(v) if conv is None else [v[i] for i in conv]
             for proc in self._levelized:
                 proc.fn(v, m)
-            if v == before:
+            after = v if conv is None else [v[i] for i in conv]
+            if after == before:
                 return
         raise CombLoopError(
             f"combinational logic in {self.module.name!r} did not "

@@ -84,7 +84,8 @@ class VCDWriter:
         w("$version\n  repro.rtl.vcd\n$end\n")
         w(f"$timescale {self.timescale} $end\n")
         w(f"$scope module {self.module.name} $end\n")
-        for sig in self.module.signals.values():
+        # hidden coverage counters are instrumentation, not waveform state
+        for sig in self.module.visible_signals():
             vid = _identifier(sig.index)
             self._ids[sig.index] = vid
             self._last[sig.index] = None
@@ -100,7 +101,7 @@ class VCDWriter:
         if not self._header_written:
             self.write_header()
         out: list[str] = []
-        for sig in self.module.signals.values():
+        for sig in self.module.visible_signals():
             # Clip to the declared width before diffing/emitting: a
             # negative or over-width Python int would otherwise produce
             # an out-of-spec value line like ``b-101 !``.

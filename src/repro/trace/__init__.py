@@ -17,7 +17,12 @@ The shared observability substrate (gem5's ``--debug-flags`` /
 """
 
 from .chrome import ChromeTracer
-from .control import TraceWindow, register_vcd, set_pending_window
+from .control import (
+    TraceWindow,
+    register_coverage,
+    register_vcd,
+    set_pending_window,
+)
 from .flags import (
     DebugFlag,
     all_flags,
@@ -46,6 +51,7 @@ __all__ = [
     "enabled_flags",
     "get_chrome_tracer",
     "parse_flags",
+    "register_coverage",
     "register_vcd",
     "reset_flags",
     "set_chrome_tracer",

@@ -37,13 +37,18 @@ __all__ = [
     "TraceWindow",
     "attach_pending",
     "clear_pending",
+    "register_coverage",
     "register_vcd",
+    "registered_coverage",
     "registered_vcds",
     "set_pending_window",
 ]
 
 #: live VCD writers that want to follow the global trace switch
 _vcd_writers: "weakref.WeakSet" = weakref.WeakSet()
+
+#: live coverage collectors (repro.verify) that want to follow it too
+_coverage_sinks: "weakref.WeakSet" = weakref.WeakSet()
 
 #: (flag_names, start_cycle, end_cycle) parked by the CLI, or None
 _pending: Optional[tuple[list[str], Optional[int], Optional[int]]] = None
@@ -57,6 +62,17 @@ def register_vcd(writer) -> None:
 
 def registered_vcds() -> list:
     return list(_vcd_writers)
+
+
+def register_coverage(collector) -> None:
+    """Make *collector* (anything with ``enable()``/``disable()``, e.g. a
+    :class:`repro.verify.CoverageCollector`) follow trace windows, so
+    coverage is only accumulated while the window is open."""
+    _coverage_sinks.add(collector)
+
+
+def registered_coverage() -> list:
+    return list(_coverage_sinks)
 
 
 def set_pending_window(
@@ -139,6 +155,8 @@ class TraceWindow:
             tracer.instant("trace window open", "trace", self.sim.now)
         for writer in _vcd_writers:
             writer.enable()
+        for sink in _coverage_sinks:
+            sink.enable()
 
     def close(self) -> None:
         self.active = False
@@ -150,3 +168,5 @@ class TraceWindow:
             tracer.enabled = False
         for writer in _vcd_writers:
             writer.disable()
+        for sink in _coverage_sinks:
+            sink.disable()

@@ -77,6 +77,46 @@ class TestSharing:
         assert key_v != key_h
 
 
+class TestInstrumentationKeying:
+    """Coverage-instrumented builds must never collide with plain ones."""
+
+    def test_instrumented_and_plain_do_not_share(self):
+        from repro.hdl.common import CoverageOptions
+
+        plain = compile_verilog(COUNTER_V, top="ctr")
+        cov = compile_verilog(COUNTER_V, top="ctr",
+                              instrument=CoverageOptions())
+        assert plain is not cov
+        assert plain.coverage_points == []
+        assert cov.coverage_points
+
+    def test_same_instrument_options_share(self):
+        from repro.hdl.common import CoverageOptions
+
+        a = compile_verilog(COUNTER_V, top="ctr",
+                            instrument=CoverageOptions())
+        b = compile_verilog(COUNTER_V, top="ctr",
+                            instrument=CoverageOptions())
+        assert a is b
+
+    def test_different_instrument_options_do_not_share(self):
+        from repro.hdl.common import CoverageOptions
+
+        a = compile_verilog(COUNTER_V, top="ctr",
+                            instrument=CoverageOptions())
+        b = compile_verilog(COUNTER_V, top="ctr",
+                            instrument=CoverageOptions(statement=False))
+        assert a is not b
+
+    def test_key_includes_instrument_token(self):
+        from repro.hdl.common import CoverageOptions
+
+        plain = ELAB_CACHE.key("verilog", COUNTER_V, "ctr", None)
+        cov = ELAB_CACHE.key("verilog", COUNTER_V, "ctr", None,
+                             CoverageOptions())
+        assert plain != cov
+
+
 class TestSharedSimulation:
     def test_shared_design_simulates_independently(self):
         from repro.rtl import RTLSimulator
