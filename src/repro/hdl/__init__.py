@@ -4,8 +4,10 @@ Both compile into :class:`repro.rtl.RTLModule` via the shared elaborator.
 """
 
 from .common import (
+    OPT_PASSES,
     CoverageOptions,
     ElabError,
+    ElabOptions,
     HDLError,
     HDLSyntaxError,
     LexError,
@@ -15,8 +17,10 @@ from .common import (
 __all__ = [
     "CoverageOptions",
     "ElabError",
+    "ElabOptions",
     "HDLError",
     "HDLSyntaxError",
     "LexError",
+    "OPT_PASSES",
     "ParseError",
 ]

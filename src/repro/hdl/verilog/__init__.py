@@ -10,7 +10,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ...rtl.kernel import RTLModule
-from ..common import CoverageOptions
+from ...rtl.opt import optimize
+from ..common import CoverageOptions, ElabOptions
 from ..elaborator import ELAB_CACHE, elaborate
 from .lexer import tokenize
 from .parser import parse
@@ -24,6 +25,7 @@ def compile_verilog(
     params: Optional[dict[str, int]] = None,
     filename: str = "<verilog>",
     instrument: Optional[CoverageOptions] = None,
+    options: Optional[ElabOptions] = None,
 ) -> RTLModule:
     """Parse + elaborate Verilog *source* into an executable RTLModule.
 
@@ -31,11 +33,16 @@ def compile_verilog(
     matching how Verilator requires the top module to be named only when
     several candidates exist.  ``instrument`` compiles coverage
     instrumentation into the design (see :mod:`repro.verify`).
+    ``options`` selects the netlist-optimisation level
+    (:mod:`repro.rtl.opt`); when omitted it defaults from the
+    ``REPRO_OPT_LEVEL`` environment variable (``-O0`` otherwise).
 
-    Identical (source, top, params, instrument) compilations share one
-    cached design (disable with ``REPRO_ELAB_CACHE=0``); an elaborated
-    RTLModule is immutable during simulation, so sharing is safe.
+    Identical (source, top, params, instrument, options) compilations
+    share one cached design (disable with ``REPRO_ELAB_CACHE=0``); an
+    elaborated RTLModule is immutable during simulation, so sharing is
+    safe.
     """
+    options = ElabOptions.resolve(options)
 
     def build() -> RTLModule:
         modules = parse(source, filename)
@@ -46,10 +53,12 @@ def compile_verilog(
                     f"multiple modules {sorted(modules)}; specify top explicitly"
                 )
             resolved = next(iter(modules))
-        return elaborate(modules, resolved, params, instrument)
+        rtl = elaborate(modules, resolved, params, instrument)
+        return optimize(rtl, options) if options.passes() else rtl
 
     return ELAB_CACHE.get_or_build(
-        ELAB_CACHE.key("verilog", source, top, params, instrument), build
+        ELAB_CACHE.key("verilog", source, top, params, instrument, options),
+        build,
     )
 
 
@@ -58,7 +67,8 @@ def compile_verilog_file(
     top: Optional[str] = None,
     params: Optional[dict[str, int]] = None,
     instrument: Optional[CoverageOptions] = None,
+    options: Optional[ElabOptions] = None,
 ) -> RTLModule:
     with open(path, "r", encoding="utf-8") as fh:
         return compile_verilog(fh.read(), top, params, filename=path,
-                               instrument=instrument)
+                               instrument=instrument, options=options)

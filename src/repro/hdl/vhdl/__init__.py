@@ -9,7 +9,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ...rtl.kernel import RTLModule
-from ..common import CoverageOptions
+from ...rtl.opt import optimize
+from ..common import CoverageOptions, ElabOptions
 from ..elaborator import ELAB_CACHE, elaborate
 from .lexer import tokenize
 from .parser import parse
@@ -23,20 +24,24 @@ def compile_vhdl(
     params: Optional[dict[str, int]] = None,
     filename: str = "<vhdl>",
     instrument: Optional[CoverageOptions] = None,
+    options: Optional[ElabOptions] = None,
 ) -> RTLModule:
     """Parse + elaborate VHDL *source* into an executable RTLModule.
 
     ``top`` defaults to the sole entity with an architecture in the source.
     ``params`` overrides generics (GHDL's ``-gNAME=VALUE``).
     ``instrument`` compiles coverage instrumentation into the design
-    (see :mod:`repro.verify`).
+    (see :mod:`repro.verify`).  ``options`` selects the
+    netlist-optimisation level (:mod:`repro.rtl.opt`); when omitted it
+    defaults from the ``REPRO_OPT_LEVEL`` environment variable.
 
-    Identical (source, top, params, instrument) compilations share one
-    cached design (disable with ``REPRO_ELAB_CACHE=0``).
+    Identical (source, top, params, instrument, options) compilations
+    share one cached design (disable with ``REPRO_ELAB_CACHE=0``).
     """
     # VHDL is case-insensitive; the parser normalises to lower case.
     top = top.lower() if top is not None else None
     params = {k.lower(): v for k, v in params.items()} if params else None
+    options = ElabOptions.resolve(options)
 
     def build() -> RTLModule:
         modules = parse(source, filename)
@@ -47,10 +52,12 @@ def compile_vhdl(
                     f"multiple entities {sorted(modules)}; specify top explicitly"
                 )
             resolved = next(iter(modules))
-        return elaborate(modules, resolved, params, instrument)
+        rtl = elaborate(modules, resolved, params, instrument)
+        return optimize(rtl, options) if options.passes() else rtl
 
     return ELAB_CACHE.get_or_build(
-        ELAB_CACHE.key("vhdl", source, top, params, instrument), build
+        ELAB_CACHE.key("vhdl", source, top, params, instrument, options),
+        build,
     )
 
 
@@ -59,7 +66,8 @@ def compile_vhdl_file(
     top: Optional[str] = None,
     params: Optional[dict[str, int]] = None,
     instrument: Optional[CoverageOptions] = None,
+    options: Optional[ElabOptions] = None,
 ) -> RTLModule:
     with open(path, "r", encoding="utf-8") as fh:
         return compile_vhdl(fh.read(), top, params, filename=path,
-                            instrument=instrument)
+                            instrument=instrument, options=options)

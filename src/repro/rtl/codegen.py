@@ -193,6 +193,10 @@ def _hoist_memories(lines: list[str], nmem: int) -> list[str]:
     return lines
 
 
+def _no_state() -> None:
+    """Default ``reset_state`` for programs without activity guards."""
+
+
 @dataclass
 class CodegenProgram:
     """The fused evaluation functions for one design."""
@@ -202,15 +206,21 @@ class CodegenProgram:
     source: str           # full generated source, for inspection/debugging
     inlined: int          # processes fused by source inlining
     called: int           # processes bound as direct calls (no source)
+    #: drop cached activity-cone keys (call after any state mutation
+    #: that bypasses the generated code: reset, restore, pokes)
+    reset_state: Callable = _no_state
+    guarded_cones: int = 0   # cones the settle code guards
+    quiescence: bool = False  # tick_batch has the early-exit fast path
 
 
 class _Emitter:
     """Accumulates fused source and the namespace of bound callables."""
 
-    def __init__(self, nmem: int) -> None:
+    def __init__(self, nmem: int, guards: bool = False) -> None:
         self.lines: list[str] = []
         self.namespace: dict = {"_S": object()}  # NBA staging sentinel
         self.nmem = nmem
+        self.guards = guards
         self.inlined = 0
         self.called = 0
         self._next_ref = 0
@@ -233,6 +243,8 @@ class _Emitter:
     def emit_prologue(self, depth: int) -> None:
         """Hoist memory base lists (and the sentinel) into locals."""
         self.emit("_sent = _S", depth)
+        if self.guards:
+            self.emit("_A = _act", depth)
         for mi in range(self.nmem):
             self.emit(f"_m{mi} = m[{mi}]", depth)
 
@@ -361,34 +373,148 @@ def _inline_body(proc: _Proc, depth: int) -> list[str]:
 def build_program(
     module: RTLModule, levelized: Sequence[CombProcess]
 ) -> CodegenProgram:
-    """Fuse *module*'s processes (comb order given by *levelized*)."""
+    """Fuse *module*'s processes (comb order given by *levelized*).
+
+    When the optimiser attached an activity plan
+    (:mod:`repro.rtl.activity`), eligible input cones get change
+    guards — a skipped cone's external inputs are unchanged since its
+    last evaluation, so its outputs are already correct — and
+    ``tick_batch`` gets the quiescence fast path: once a full cycle
+    leaves all non-counter state fixed, the remaining cycles of the
+    batch are replayed algebraically.  Without a plan the emitted
+    source is byte-identical to what this function always produced.
+    """
     nmem = len(module.memories)
-    em = _Emitter(nmem)
+    plan = module.activity_plan
+    guarded = (
+        [c for c in plan.cones if c.guarded] if plan is not None else []
+    )
+    quiesce = bool(plan is not None and plan.quiescence)
+    em = _Emitter(nmem, guards=bool(guarded))
     pos = [p for p in module.sync_procs if p.edge == Edge.POS]
     neg = [p for p in module.sync_procs if p.edge == Edge.NEG]
+
+    # Guarded cones cache input values in flat slots of one shared list
+    # (``_A``): scalar int compares, no per-settle tuple allocation, so
+    # a guard that always misses costs only its short-circuited compare
+    # chain.  ``base`` maps cone index -> first slot.
+    base: dict[int, int] = {}
+    nslots = 0
+    if plan is not None:
+        for ci, cone in enumerate(plan.cones):
+            if cone.guarded:
+                base[ci] = nslots
+                nslots += len(cone.inputs)
+
+    def emit_comb(depth: int) -> None:
+        if not guarded:
+            for proc in levelized:
+                em.emit_proc(proc, "(v, m)", depth)
+            return
+        # Cones are independent (no comb-driven signal crosses cones),
+        # so emitting whole cones in first-appearance order — keeping
+        # levelized order inside each — is still a topological order.
+        pos_of = {id(p): i for i, p in enumerate(levelized)}
+        indexed = sorted(
+            enumerate(plan.cones),
+            key=lambda e: min(pos_of[id(module.comb_procs[i])]
+                              for i in e[1].procs),
+        )
+        for ci, cone in indexed:
+            procs = sorted(
+                (module.comb_procs[i] for i in cone.procs),
+                key=lambda p: pos_of[id(p)],
+            )
+            if not cone.guarded:
+                for proc in procs:
+                    em.emit_proc(proc, "(v, m)", depth)
+                continue
+            b = base[ci]
+            check = " or ".join(
+                f"_A[{b + k}] != v[{i}]"
+                for k, i in enumerate(cone.inputs)
+            )
+            em.emit(f"if {check}:", depth)
+            for k, i in enumerate(cone.inputs):
+                em.emit(f"_A[{b + k}] = v[{i}]", depth + 1)
+            for proc in procs:
+                em.emit_proc(proc, "(v, m)", depth + 1)
+
+    def emit_cycle(depth: int) -> None:
+        if not (pos or neg or levelized):
+            em.emit("pass", depth)
+        if pos:
+            em.emit_sync_section(pos, depth)
+        emit_comb(depth)
+        if neg:
+            em.emit_sync_section(neg, depth)
+            emit_comb(depth)
 
     em.emit("def _settle(v, m):", 0)
     if levelized:
         em.emit_prologue(1)
-        for proc in levelized:
-            em.emit_proc(proc, "(v, m)", 1)
+        emit_comb(1)
     else:
         em.emit("pass", 1)
 
     em.emit("", 0)
     em.emit("def _tick_batch(v, m, n):", 0)
     em.emit_prologue(1)
-    em.emit("for _ in range(n):", 1)
-    if not (pos or neg or levelized):
-        em.emit("pass", 2)
-    if pos:
-        em.emit_sync_section(pos, 2)
-    for proc in levelized:
-        em.emit_proc(proc, "(v, m)", 2)
-    if neg:
-        em.emit_sync_section(neg, 2)
-        for proc in levelized:
-            em.emit_proc(proc, "(v, m)", 2)
+    if quiesce:
+        # Small batches (and the coverage collector's single ticks) take
+        # a plain loop with zero bookkeeping; the quiescence machinery
+        # only engages once a batch is long enough to reach the first
+        # snapshot point anyway.
+        em.emit("if n < 16:", 1)
+        em.emit("for _ in range(n):", 2)
+        emit_cycle(3)
+        em.emit("return", 2)
+        # Doubling check schedule: long batches snapshot O(log n) times.
+        em.emit("_i = 0", 1)
+        em.emit("_chk = 16", 1)
+        em.emit("while _i < n:", 1)
+        em.emit("if _i == _chk and n - _i > 1:", 2)
+        em.emit("_sv = v[:]", 3)
+        em.emit("_sm = [_x[:] for _x in m]", 3)
+        em.emit("else:", 2)
+        em.emit("_sv = None", 3)
+        emit_cycle(2)
+        cov = [pt.index for pt in module.coverage_points]
+        em.emit("_i = _i + 1", 2)
+        em.emit("if _sv is not None:", 2)
+        em.emit("_chk = _chk + _chk", 3)
+        if cov:
+            # Counters advance every cycle by design; judge the
+            # fixpoint on real state and extrapolate them exactly
+            # (each remaining cycle repeats the same increments).
+            em.namespace["_VIS"] = tuple(
+                s.index for s in module.visible_signals()
+            )
+            em.emit(
+                "if all(v[_j] == _sv[_j] for _j in _VIS) and m == _sm:", 3
+            )
+            em.emit("_rem = n - _i", 4)
+            for idx in cov:
+                em.emit(
+                    f"v[{idx}] = v[{idx}] + (v[{idx}] - _sv[{idx}]) * _rem",
+                    4,
+                )
+        else:
+            em.emit("if v == _sv and m == _sm:", 3)
+        em.emit("break", 4)
+    else:
+        em.emit("for _ in range(n):", 1)
+        emit_cycle(2)
+
+    if guarded:
+        act = [None] * nslots
+        em.namespace["_act"] = act
+
+        def reset_state(_act=act) -> None:
+            for i in range(len(_act)):
+                _act[i] = None
+    else:
+        reset_state = _no_state
 
     lines = _hoist_memories(_unroll_loops(_simplify_conditions(em.lines)), nmem)
     source = "\n".join(lines)
@@ -400,4 +526,7 @@ def build_program(
         source=source,
         inlined=em.inlined,
         called=em.called,
+        reset_state=reset_state,
+        guarded_cones=len(guarded),
+        quiescence=quiesce,
     )

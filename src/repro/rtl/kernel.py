@@ -154,6 +154,14 @@ class RTLModule:
         self.coverage_points: list[CoveragePoint] = []
         #: state registers inferred during elaboration (case subjects)
         self.fsm_infos: list[FSMInfo] = []
+        #: activity analysis (repro.rtl.activity) attached by the
+        #: optimiser; the codegen backend emits cone guards and the
+        #: quiescence fast path from it, the interpreter ignores it
+        self.activity_plan = None
+        #: per-pass statistics recorded by repro.rtl.opt (empty = -O0)
+        self.opt_stats: dict = {}
+        #: the resolved ElabOptions the optimiser ran with (None = -O0)
+        self.opt_options = None
 
     # -- construction -----------------------------------------------------
 

@@ -1,0 +1,293 @@
+"""Netlist optimisation pipeline: rewrite the elaborated design in place.
+
+Runs between :mod:`repro.hdl.elaborator` and :mod:`repro.rtl.codegen`,
+on the *generated process source* — the netlist representation both
+execution backends share.  Because passes rewrite the source (and
+recompile the interpreter functions from it), an optimised design is
+faster under **both** backends and, crucially, stays a single design:
+the interpreter, the codegen fast path, the VCD writer and the coverage
+collector all see the same optimised processes, so the PR 5 equivalence
+and coverage-identity harnesses gate every pass.
+
+Passes (canonical order, selected by :class:`~repro.hdl.common.ElabOptions`):
+
+``const_fold``
+    Signals with no driver at all (tied-off wires, unconnected ports)
+    are constants at their initial value; their reads are replaced by
+    literals.  Single-statement combinational drivers whose right-hand
+    side folds to a literal become literal drivers, which can cascade
+    (a tied input constant-folds the mux it feeds, and so on to a
+    fixpoint).  The folded literal is exactly what the interpreter
+    would have computed — the pass evaluates the generated source text
+    itself.
+
+``dedup``
+    Structural hashing of single-statement combinational drivers: two
+    processes computing the byte-identical right-hand side keep one
+    evaluation; the duplicate becomes a copy (``v[b] = v[a]``).  Both
+    signals remain in the design with identical values, so waveforms
+    and equivalence are unaffected.
+
+``dce``
+    Dead *logic* elimination, deliberately conservative: only drivers
+    proven constant (a literal right-hand side) are deleted, with the
+    literal moved into the signal's initial value.  The signal itself
+    — and anything observable through it (VCD, toggle coverage, the
+    equivalence checker's full-state compare) — is never removed,
+    which is also why logic feeding only a coverage counter survives:
+    coverage counters pin their whole input cone.
+
+``activity``
+    No rewriting — attaches an :class:`~repro.rtl.activity.ActivityPlan`
+    describing input cones the codegen backend may guard, and whether
+    the quiescence fast path is sound for this design.
+
+Every pass is value-preserving for *input-driven* stimulus (the
+simulator API contract: drive inputs, read anything).  Poking a
+non-input signal between cycles remains supported — the simulator
+invalidates the activity state — but a poked value that elaborated
+logic used to recompute may persist once that logic has been folded
+away at ``-O1``+.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..hdl.common import ElabOptions
+from .activity import plan_activity
+from .kernel import CombLoopError, CombProcess, RTLModule, SyncProcess
+
+#: a whole single-statement comb body: ``    v[K] = RHS``
+_SINGLE_RE = re.compile(r"^    v\[(\d+)\] = (.+)$")
+
+#: a literal right-hand side, possibly parenthesised (``(7)`` / ``7``)
+_LIT_RE = re.compile(r"^\(*(\d+)\)*$")
+
+_VREF_RE = re.compile(r"v\[(\d+)\]")
+
+
+def _recompile(proc) -> None:
+    """Regenerate ``proc.fn`` from its (rewritten) source."""
+    header = (
+        "def _f(v, m):" if isinstance(proc, CombProcess)
+        else "def _f(v, m, nba, nbm):"
+    )
+    ns: dict = {}
+    exec(header + "\n" + proc.source, ns)  # noqa: S102 - our generated code
+    proc.fn = ns["_f"]
+
+
+def _rhs_reads(rhs: str) -> set[int]:
+    return {int(m.group(1)) for m in _VREF_RE.finditer(rhs)}
+
+
+def _single_assign(proc: CombProcess) -> Optional[tuple[int, str]]:
+    """``(target, rhs)`` if *proc* is one plain ``v[K] = RHS`` statement."""
+    if proc.source is None or "\n" in proc.source:
+        return None
+    m = _SINGLE_RE.match(proc.source)
+    if m is None:
+        return None
+    target = int(m.group(1))
+    if proc.writes != frozenset((target,)):
+        return None
+    return target, m.group(2)
+
+
+class _Netlist:
+    """Shared per-run analysis over the module."""
+
+    def __init__(self, module: RTLModule) -> None:
+        self.module = module
+        self.writers: dict[int, int] = {}
+        for p in list(module.comb_procs) + list(module.sync_procs):
+            for s in p.writes:
+                self.writers[s] = self.writers.get(s, 0) + 1
+        self.cov = {pt.index for pt in module.coverage_points}
+        self.clocks = {p.clock for p in module.sync_procs}
+        try:
+            module.levelize()
+            self.levelizable = True
+        except CombLoopError:
+            self.levelizable = False
+
+    def foldable(self, idx: int) -> bool:
+        sig = self._by_index().get(idx)
+        return (
+            sig is not None
+            and not sig.is_input
+            and idx not in self.cov
+            and idx not in self.clocks
+        )
+
+    def _by_index(self):
+        cached = getattr(self, "_idx_cache", None)
+        if cached is None:
+            cached = {s.index: s for s in self.module.signals.values()}
+            self._idx_cache = cached
+        return cached
+
+
+# -- const_fold -----------------------------------------------------------
+
+def _substitute(net: _Netlist, known: dict[int, int],
+                pending: set[int]) -> int:
+    """Replace reads of *pending* constants with literals, everywhere."""
+    replaced = 0
+    for proc in list(net.module.comb_procs) + list(net.module.sync_procs):
+        if proc.source is None:
+            continue
+        # never touch a proc's own targets (left-hand sides / RMW reads)
+        live = pending & proc.reads - proc.writes
+        if not live:
+            continue
+
+        def repl(m, live=live):
+            idx = int(m.group(1))
+            return f"({known[idx]})" if idx in live else m.group(0)
+
+        proc.source = _VREF_RE.sub(repl, proc.source)
+        proc.reads = proc.reads - live
+        _recompile(proc)
+        replaced += len(live)
+    return replaced
+
+
+def _const_fold(net: _Netlist) -> dict:
+    module = net.module
+    known: dict[int, int] = {}
+    for sig in module.signals.values():
+        if net.writers.get(sig.index, 0) == 0 and net.foldable(sig.index):
+            known[sig.index] = module.initial_values.get(sig.index, 0)
+    stats = {"tied": len(known), "folded_procs": 0, "substituted_reads": 0}
+    pending = set(known)
+    while True:
+        if pending:
+            stats["substituted_reads"] += _substitute(net, known, pending)
+            pending = set()
+        if not net.levelizable:
+            break  # substitution of true constants is all that is safe
+        progress = False
+        for proc in module.comb_procs:
+            sa = _single_assign(proc)
+            if sa is None:
+                continue
+            target, rhs = sa
+            if (
+                target in known
+                or net.writers.get(target) != 1
+                or not net.foldable(target)
+                or "v[" in rhs
+                or "m[" in rhs
+            ):
+                continue
+            # The RHS is the very text the interpreter executes, so
+            # evaluating it yields the exact value every settle stores.
+            value = eval(rhs, {})  # noqa: S307 - generated literal arithmetic
+            known[target] = value
+            pending.add(target)
+            proc.source = f"    v[{target}] = {value}"
+            proc.reads = frozenset()
+            _recompile(proc)
+            stats["folded_procs"] += 1
+            progress = True
+        if not pending and not progress:
+            break
+    stats["constants"] = len(known)
+    return stats
+
+
+# -- dedup ---------------------------------------------------------------
+
+def _dedup(net: _Netlist) -> dict:
+    stats = {"merged": 0}
+    if not net.levelizable:
+        return stats
+    canonical: dict[str, int] = {}
+    for proc in net.module.comb_procs:
+        sa = _single_assign(proc)
+        if sa is None:
+            continue
+        target, rhs = sa
+        if (
+            net.writers.get(target) != 1
+            or not net.foldable(target)
+            or "m[" in rhs
+            or target in _rhs_reads(rhs)
+        ):
+            continue
+        first = canonical.get(rhs)
+        if first is None or first == target:
+            canonical[rhs] = target
+            continue
+        # identical text ⇒ identical value once the canonical driver
+        # has run; levelize orders the copy after it via the new read
+        proc.source = f"    v[{target}] = v[{first}]"
+        proc.reads = frozenset((first,))
+        _recompile(proc)
+        stats["merged"] += 1
+    return stats
+
+
+# -- dce -----------------------------------------------------------------
+
+def _dce(net: _Netlist) -> dict:
+    stats = {"removed_procs": 0}
+    module = net.module
+    kept: list[CombProcess] = []
+    for proc in module.comb_procs:
+        sa = _single_assign(proc)
+        removable = False
+        if sa is not None:
+            target, rhs = sa
+            lit = _LIT_RE.match(rhs)
+            if (
+                lit is not None
+                and net.writers.get(target) == 1
+                and net.foldable(target)
+            ):
+                value = int(lit.group(1))
+                if value:
+                    module.initial_values[target] = value
+                else:
+                    module.initial_values.pop(target, None)
+                removable = True
+        if removable:
+            net.writers[target] -= 1
+            stats["removed_procs"] += 1
+        else:
+            kept.append(proc)
+    module.comb_procs[:] = kept
+    return stats
+
+
+# -- driver --------------------------------------------------------------
+
+_PASS_FNS = {
+    "const_fold": _const_fold,
+    "dedup": _dedup,
+    "dce": _dce,
+}
+
+
+def optimize(module: RTLModule, options: ElabOptions) -> RTLModule:
+    """Run the selected passes over a freshly elaborated *module*.
+
+    Mutates and returns *module*; meant to be called exactly once, by
+    the HDL frontends, before the design is published (and cached).
+    """
+    net = _Netlist(module)
+    stats: dict = {}
+    for name in options.passes():
+        if name == "activity":
+            plan = plan_activity(module)
+            if plan is not None:
+                module.activity_plan = plan
+                stats["activity"] = plan.summary()
+            continue
+        stats[name] = _PASS_FNS[name](net)
+    module.opt_stats = stats
+    module.opt_options = options
+    return module

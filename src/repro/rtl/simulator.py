@@ -122,6 +122,11 @@ class RTLSimulator:
         """Drive a signal (typically a module input)."""
         sig = self._sig(name)
         self.values[sig.index] = value & sig.mask
+        if not sig.is_input and self._codegen is not None:
+            # Input changes are caught by the activity-cone key compare;
+            # a poked *internal* signal would be silently un-poked by a
+            # skipped cone, so drop the cached cone keys.
+            self._codegen.reset_state()
 
     def peek(self, name: str) -> int:
         return self.values[self._sig(name).index]
@@ -172,6 +177,8 @@ class RTLSimulator:
         wrapper must expose.  Designs without a reset input are simply
         re-initialised.
         """
+        if self._codegen is not None:
+            self._codegen.reset_state()
         if reset_signal in self.module.signals:
             self.poke(reset_signal, 1)
             self.settle()
@@ -285,3 +292,6 @@ class RTLSimulator:
         self.cycle = ckpt.cycle
         self.values = list(ckpt.values)
         self.mems = copy.deepcopy(ckpt.mems)
+        if self._codegen is not None:
+            # cached activity-cone keys describe the pre-restore state
+            self._codegen.reset_state()

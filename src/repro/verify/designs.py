@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..hdl.common import CoverageOptions
+from ..hdl.common import CoverageOptions, ElabOptions
 from ..models.bitonic.wrapper import load_bitonic_source
 from ..models.pmu.wrapper import load_pmu_source
 from ..models.rtlcache.wrapper import load_rtl_cache_source
@@ -39,25 +39,39 @@ class Design:
     def source(self) -> str:
         return self.loader()
 
-    def compile(self, instrument: Optional[CoverageOptions] = None):
+    def compile(
+        self,
+        instrument: Optional[CoverageOptions] = None,
+        opt_level: int = 0,
+        options: Optional[ElabOptions] = None,
+    ):
+        """Compile at *opt_level* (or with explicit pass *options*)."""
+        if options is None:
+            options = ElabOptions(opt_level=opt_level)
         if self.frontend == "vhdl":
             from ..hdl.vhdl import compile_vhdl
             return compile_vhdl(
                 self.source(), top=self.top, params=self.params,
                 filename=self.filename, instrument=instrument,
+                options=options,
             )
         from ..hdl.verilog import compile_verilog
         return compile_verilog(
             self.source(), top=self.top, params=self.params,
             filename=self.filename, instrument=instrument,
+            options=options,
         )
 
     def make_sim(
         self,
         backend: str = "codegen",
         instrument: Optional[CoverageOptions] = None,
+        opt_level: int = 0,
+        options: Optional[ElabOptions] = None,
     ) -> RTLSimulator:
-        return RTLSimulator(self.compile(instrument), backend=backend)
+        return RTLSimulator(
+            self.compile(instrument, opt_level, options), backend=backend
+        )
 
 
 DESIGNS: dict[str, Design] = {
