@@ -140,6 +140,21 @@ class RTLObject(SimObject):
 
     def _tick(self) -> None:
         n = self._batch_window()
+        in_bytes = self._tick_prologue(n)
+        if n > 1:
+            out_bytes = self.library.tick_batch(in_bytes, n)
+        else:
+            out_bytes = self.library.tick(in_bytes)
+        self._tick_epilogue(n, out_bytes)
+
+    def _tick_prologue(self, n: int) -> bytes:
+        """Everything before the model call: tracing + input packing.
+
+        Split from :meth:`_tick` so the bulk-synchronous scheduler
+        (:mod:`repro.rtl.parallel.sched`) can run every group member's
+        input phase before any model ticks; the serial path above is
+        behaviourally identical to the pre-split code.
+        """
         if n > 1:
             if FLAG_RTL_BATCH.enabled:
                 tracepoint(
@@ -157,12 +172,12 @@ class RTLObject(SimObject):
             "batched" if n > 1 else "busy",
             self.now, self.now + n * self.clock.period,
         )
-        in_bytes = self.build_input()
+        return self.build_input()
+
+    def _tick_epilogue(self, n: int, out_bytes: bytes) -> None:
+        """Everything after the model call: stats, output, reschedule."""
         if n > 1:
-            out_bytes = self.library.tick_batch(in_bytes, n)
             self.st_batched_ticks.inc(n)
-        else:
-            out_bytes = self.library.tick(in_bytes)
         self.st_ticks.inc(n)
         self.consume_output(self.library.output_spec.unpack(out_bytes))
         if self._running:
@@ -197,7 +212,10 @@ class RTLObject(SimObject):
             args={"cycles": (end - start) // self.clock.period},
         )
 
-    def _batch_window(self) -> int:
+    #: sentinel: _batch_window should ask the event queue for a horizon
+    _QUEUE_HORIZON = object()
+
+    def _batch_window(self, horizon: object = _QUEUE_HORIZON) -> int:
         """RTL cycles to advance on this event-queue pop.
 
         The window is the model's own quiescence bound
@@ -208,11 +226,17 @@ class RTLObject(SimObject):
         exactly as in the unbatched schedule.  This keeps the paper's
         frequency-ratio semantics: batched or not, edge k is simulated
         at tick ``k * period``.
+
+        *horizon* overrides the event-queue query (``None`` = unbounded)
+        — the group scheduler passes the horizon a serial run would have
+        observed, including entries it is still holding in a capture
+        buffer.
         """
         limit = min(self.batch_cycles, self.idle_cycles())
         if limit <= 1:
             return 1
-        horizon = self.sim.eventq.next_event_tick()
+        if horizon is RTLObject._QUEUE_HORIZON:
+            horizon = self.sim.eventq.next_event_tick()
         if horizon is not None:
             limit = min(limit, (horizon - self.now) // self.clock.period)
         return max(1, limit)

@@ -16,6 +16,7 @@ from ..models.nvdla import (
     NVDLASharedLibrary,
     for_instance,
 )
+from ..rtl.parallel.sched import ParallelTickScheduler, attach_parallel_rtl
 from ..soc.interconnect.xbar import AddrRange
 from ..soc.system import SoC, SoCConfig
 
@@ -30,25 +31,41 @@ class NVDLASystem:
     soc: SoC
     rtls: list[NVDLARTLObject]
     hosts: list[NVDLAHostApp]
+    #: tier-(a) group scheduler when ``rtl_jobs > 1`` wired one, else None
+    parallel: Optional["ParallelTickScheduler"] = None
+
+    def close(self) -> None:
+        """Tear down the parallel scheduler, if any (idempotent).
+
+        Worker model state is synced back into the local libraries so
+        post-run checkpoints and inspection see the real thing.
+        """
+        if self.parallel is not None:
+            self.parallel.close()
+            self.parallel = None
 
     def run_to_completion(self, max_ticks: int = 10**12) -> int:
         """Start all host apps and run until every one completes."""
-        for host in self.hosts:
-            host.start()
-        sim = self.soc.sim
-        sim.startup()
-        step = sim.default_clock.cycles_to_ticks(20_000)
-        deadline = sim.now + max_ticks
-        # boundaries aligned to absolute multiples of *step* so resumed
-        # runs stop the RTL at the same tick as uninterrupted ones
-        while not all(h.done for h in self.hosts):
-            if sim.now >= deadline:
-                raise TimeoutError("NVDLA workload did not complete")
-            boundary = (sim.now // step + 1) * step
-            sim.run(until=min(boundary, deadline))
-        for rtl in self.rtls:
-            rtl.stop()
-        return sim.now
+        try:
+            for host in self.hosts:
+                host.start()
+            sim = self.soc.sim
+            sim.startup()
+            step = sim.default_clock.cycles_to_ticks(20_000)
+            deadline = sim.now + max_ticks
+            # boundaries aligned to absolute multiples of *step* so
+            # resumed runs stop the RTL at the same tick as
+            # uninterrupted ones
+            while not all(h.done for h in self.hosts):
+                if sim.now >= deadline:
+                    raise TimeoutError("NVDLA workload did not complete")
+                boundary = (sim.now // step + 1) * step
+                sim.run(until=min(boundary, deadline))
+            for rtl in self.rtls:
+                rtl.stop()
+            return sim.now
+        finally:
+            self.close()
 
 
 def build_nvdla_system(
@@ -60,6 +77,7 @@ def build_nvdla_system(
     scale: float = 1.0,
     soc_cfg: Optional[SoCConfig] = None,
     use_sram_scratchpad: bool = False,
+    rtl_jobs: int = 1,
 ) -> NVDLASystem:
     """Assemble the DSE system.
 
@@ -68,7 +86,9 @@ def build_nvdla_system(
     request cap, applied per NVDLA instance.  ``use_sram_scratchpad``
     hooks the SRAMIF to a private ideal scratchpad instead of main
     memory (the extension the paper suggests), used by the ablation
-    bench.
+    bench.  ``rtl_jobs > 1`` ticks the NVDLA instances through the
+    tier-(a) worker pool (bit-identical results by contract; falls back
+    to serial when fork is unavailable or there is only one instance).
     """
     if n_nvdla < 1:
         raise ValueError("need at least one NVDLA instance")
@@ -112,4 +132,8 @@ def build_nvdla_system(
         rtls.append(rtl)
         hosts.append(host)
 
-    return NVDLASystem(soc, rtls, hosts)
+    # Wire the group scheduler before startup: tick events must not be
+    # scheduled yet, and the fork must happen while the libraries still
+    # hold their pristine (pre-reset) state.
+    parallel = attach_parallel_rtl(soc.sim, rtls, jobs=rtl_jobs)
+    return NVDLASystem(soc, rtls, hosts, parallel=parallel)

@@ -1,0 +1,47 @@
+"""Bulk-synchronous parallel RTL execution (Manticore-style).
+
+Two tiers, both gated by the lockstep equivalence machinery and both
+required to be *bit-identical* to serial execution (stats, coverage
+counters, checkpoints):
+
+* tier (a) — :mod:`~repro.rtl.parallel.sched`: several RTLObjects whose
+  tick events land on the same event-queue timestamp are ticked as one
+  group against a persistent fork-based worker pool
+  (:mod:`~repro.rtl.parallel.pool`), with a barrier at the clock edge
+  and a deterministic index-ordered merge;
+* tier (b) — :mod:`~repro.rtl.parallel.partition`: one large kernel is
+  cut along its activity-cone structure into balanced sub-graphs with a
+  minimal boundary-signal cut, ticked across workers with only boundary
+  values exchanged per edge.
+"""
+
+from .partition import (
+    PartitionError,
+    PartitionPlan,
+    PartitionedSimulator,
+    partition_module,
+)
+from .pool import (
+    LibraryHost,
+    PooledLibrary,
+    RTLWorkerError,
+    RTLWorkerPool,
+    Ticket,
+    pool_available,
+)
+from .sched import ParallelTickScheduler, attach_parallel_rtl
+
+__all__ = [
+    "LibraryHost",
+    "ParallelTickScheduler",
+    "PartitionError",
+    "PartitionPlan",
+    "PartitionedSimulator",
+    "PooledLibrary",
+    "RTLWorkerError",
+    "RTLWorkerPool",
+    "Ticket",
+    "attach_parallel_rtl",
+    "partition_module",
+    "pool_available",
+]

@@ -1,0 +1,544 @@
+"""Tier (b): partition one RTL kernel across workers (bulk-synchronous).
+
+Manticore's observation: a synchronous netlist is a bipartite dataflow
+between registers and combinational cones, so it can be cut into
+sub-graphs that simulate independently within a cycle as long as the
+**boundary signals** (registers and module inputs read across the cut)
+are exchanged at every clock edge.  RepCut adds that a good cut keeps
+that boundary tiny.  This module reuses the activity pass's union-find
+comb cones (:func:`repro.rtl.activity.plan_activity`) as the atomic
+units — a cone is comb-closed, so **no combinational value ever crosses
+a partition**; only registers and inputs do — and packs cones plus sync
+processes into ``k`` balanced parts with a greedy
+smallest-load/highest-affinity heuristic.
+
+Execution is two bulk-synchronous rounds per cycle, mirroring
+``RTLSimulator.tick`` (posedge sample → NBA commit → settle):
+
+* **round A (edge)** — the master sends each part the pre-edge values of
+  the foreign signals its sync processes read; each part samples and
+  commits locally and returns its sync-written values; the master
+  merges them in part order.
+* **round B (settle)** — the master sends each part the post-edge values
+  of the foreign registers/inputs its cones read; each part settles its
+  cones and returns its comb-written values (including statement
+  coverage counters, which are just signal slots owned by the part that
+  increments them — that is why coverage merge is bit-identical); the
+  master merges.
+
+Parts own disjoint write sets (all writers of a signal are co-located),
+so the merge order cannot matter, but it is fixed anyway.  When no part
+reads a foreign *non-input* signal (``PartitionPlan.boundary`` empty —
+embarrassingly parallel designs), whole batches run autonomously in the
+workers with a single round trip (inputs are frozen within a batch by
+the shared-library contract).
+
+Eligibility: levelizable comb graph, no memories (a RAM shared across
+parts would need its own coherence round), posedge-only sync logic.
+Ineligible designs raise :class:`PartitionError` with the reason;
+callers surface it as a skip.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .. import codegen as _cg
+from ..activity import _VREF_RE, plan_activity
+from ..kernel import Edge, RTLModule
+from ..simulator import RTLCheckpoint
+from .pool import RTLWorkerPool, pool_available
+
+
+class PartitionError(ValueError):
+    """The design cannot be partitioned; ``str()`` carries the reason."""
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One sub-graph: process indices plus its exchange lists.
+
+    All index tuples are sorted (or levelized, for ``comb_procs``), so a
+    plan is deterministic for a given (module, k).
+    """
+
+    comb_procs: tuple[int, ...]   # into module.comb_procs, levelized order
+    sync_procs: tuple[int, ...]   # into module.sync_procs, program order
+    owned: tuple[int, ...]        # signal indices written by this part
+    edge_in: tuple[int, ...]      # foreign signals its sync procs read
+    settle_in: tuple[int, ...]    # foreign signals its comb procs read
+    ext_in: tuple[int, ...]       # edge_in ∪ settle_in (batch fast path)
+    sync_out: tuple[int, ...]     # signals its sync procs write
+    comb_out: tuple[int, ...]     # signals its comb procs write
+    cost: int                     # generated-source lines (balance metric)
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    parts: tuple[Partition, ...]
+    #: foreign-owned, non-input signals crossing the cut (the RepCut
+    #: objective); empty = parts depend only on module inputs and whole
+    #: batches run autonomously in the workers
+    boundary: tuple[int, ...]
+    #: max part cost / ideal (total/k); 1.0 = perfectly balanced
+    balance: float
+    #: signal index -> owning part (for internal pokes)
+    owner_of: dict = field(default_factory=dict, compare=False)
+
+    def summary(self) -> dict:
+        return {
+            "parts": len(self.parts),
+            "boundary_signals": len(self.boundary),
+            "balance": round(self.balance, 3),
+            "costs": [p.cost for p in self.parts],
+        }
+
+
+def _unit_cost(procs: list) -> int:
+    return sum(
+        len(p.source.splitlines()) if p.source is not None else 4
+        for p in procs
+    )
+
+
+def _proc_writes(proc, cov_indices: set[int]) -> set[int]:
+    """*proc*'s write set including its statement-coverage counters.
+
+    The elaborator emits counter increments into the process *source*
+    without recording them in ``writes``; a partition must own the
+    counters its processes bump or the increments would stay
+    worker-local and coverage would stop being bit-identical.
+    """
+    writes = set(proc.writes)
+    if cov_indices and proc.source is not None:
+        writes |= {
+            int(m.group(1))
+            for m in _VREF_RE.finditer(proc.source)
+        } & cov_indices
+    return writes
+
+
+def partition_module(module: RTLModule, k: int) -> PartitionPlan:
+    """Cut *module* into at most *k* balanced parts (see module docs).
+
+    Raises :class:`PartitionError` for ineligible designs (comb loop,
+    memories, negedge logic, fewer than two schedulable units).
+    """
+    if k < 2:
+        raise PartitionError(f"need at least 2 partitions, got {k}")
+    if module.memories:
+        raise PartitionError("design uses memories (no cross-part RAM)")
+    if any(p.edge != Edge.POS for p in module.sync_procs):
+        raise PartitionError("design has negedge logic")
+    plan = plan_activity(module, quiescence=False)
+    if plan is None:
+        raise PartitionError(
+            "comb graph needs iterative settling (not levelizable)"
+        )
+
+    comb = list(module.comb_procs)
+    sync = list(module.sync_procs)
+    cov_indices = {pt.index for pt in module.coverage_points}
+
+    # Units: one per comb cone, one per sync proc; union-find merges
+    # every pair of units writing a common signal (unique ownership —
+    # also co-locates sync logic with a comb cone rewriting its output,
+    # preserving the serial edge→settle overwrite order within a part).
+    units: list[dict] = []
+    for cone in plan.cones:
+        procs = [comb[i] for i in cone.procs]
+        units.append({
+            "comb": list(cone.procs), "sync": [],
+            "writes": set().union(
+                *(_proc_writes(p, cov_indices) for p in procs)
+            ),
+            "reads": set().union(*(p.reads for p in procs)),
+            "cost": _unit_cost(procs),
+        })
+    for si, p in enumerate(sync):
+        units.append({
+            "comb": [], "sync": [si],
+            "writes": _proc_writes(p, cov_indices),
+            "reads": set(p.reads),
+            "cost": _unit_cost([p]),
+        })
+
+    parent = list(range(len(units)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    writer: dict[int, int] = {}
+    for ui, u in enumerate(units):
+        for sig in sorted(u["writes"]):
+            if sig in writer:
+                ra, rb = find(ui), find(writer[sig])
+                if ra != rb:
+                    parent[max(ra, rb)] = min(ra, rb)
+            else:
+                writer[sig] = ui
+    merged: dict[int, dict] = {}
+    for ui, u in enumerate(units):
+        root = find(ui)
+        if root not in merged:
+            merged[root] = {
+                "comb": [], "sync": [], "writes": set(),
+                "reads": set(), "cost": 0,
+            }
+        mu = merged[root]
+        mu["comb"] += u["comb"]
+        mu["sync"] += u["sync"]
+        mu["writes"] |= u["writes"]
+        mu["reads"] |= u["reads"]
+        mu["cost"] += u["cost"]
+    final_units = [merged[r] for r in sorted(merged)]
+    k = min(k, len(final_units))
+    if k < 2:
+        raise PartitionError(
+            "design collapses to a single schedulable unit"
+        )
+
+    # Greedy packing, heaviest unit first: minimise load, break ties by
+    # read/write affinity (placing a unit beside producers of its reads
+    # shrinks the exchanged boundary), then by part index.
+    order = sorted(
+        range(len(final_units)),
+        key=lambda i: (-final_units[i]["cost"], i),
+    )
+    bins: list[dict] = [
+        {"units": [], "load": 0, "writes": set(), "reads": set()}
+        for _ in range(k)
+    ]
+    for ui in order:
+        u = final_units[ui]
+        best = min(
+            range(k),
+            key=lambda b: (
+                bins[b]["load"],
+                -len(u["reads"] & bins[b]["writes"])
+                - len(u["writes"] & bins[b]["reads"]),
+                b,
+            ),
+        )
+        bins[best]["units"].append(ui)
+        bins[best]["load"] += u["cost"]
+        bins[best]["writes"] |= u["writes"]
+        bins[best]["reads"] |= u["reads"]
+    bins = [b for b in bins if b["units"]]
+
+    # Materialise partitions; comb procs re-sorted into global levelized
+    # order (cones are independent, so any cone interleaving that keeps
+    # intra-cone order is topological — global order is simplest).
+    pos_of = {id(p): i for i, p in enumerate(module.levelize())}
+    input_idx = {
+        s.index for s in module.signals.values() if s.is_input
+    }
+    parts: list[Partition] = []
+    owner_of: dict[int, int] = {}
+    boundary: set[int] = set()
+    for pi, b in enumerate(bins):
+        comb_ids: list[int] = []
+        sync_ids: list[int] = []
+        for ui in b["units"]:
+            comb_ids += final_units[ui]["comb"]
+            sync_ids += final_units[ui]["sync"]
+        comb_ids.sort(key=lambda i: pos_of[id(comb[i])])
+        sync_ids.sort()
+        owned = set()
+        sync_out: set[int] = set()
+        comb_out: set[int] = set()
+        edge_reads: set[int] = set()
+        settle_reads: set[int] = set()
+        for i in comb_ids:
+            comb_out |= _proc_writes(comb[i], cov_indices)
+            settle_reads |= comb[i].reads
+        for i in sync_ids:
+            sync_out |= _proc_writes(sync[i], cov_indices)
+            edge_reads |= sync[i].reads
+        owned = comb_out | sync_out
+        for sig in sorted(owned):
+            owner_of[sig] = pi
+        edge_in = sorted(edge_reads - owned)
+        settle_in = sorted(settle_reads - owned)
+        boundary |= (set(edge_in) | set(settle_in)) - input_idx
+        parts.append(Partition(
+            comb_procs=tuple(comb_ids),
+            sync_procs=tuple(sync_ids),
+            owned=tuple(sorted(owned)),
+            edge_in=tuple(edge_in),
+            settle_in=tuple(settle_in),
+            ext_in=tuple(sorted(set(edge_in) | set(settle_in))),
+            sync_out=tuple(sorted(sync_out)),
+            comb_out=tuple(sorted(comb_out)),
+            cost=b["load"],
+        ))
+    total = sum(p.cost for p in parts) or 1
+    ideal = total / len(parts)
+    return PartitionPlan(
+        parts=tuple(parts),
+        boundary=tuple(sorted(boundary)),
+        balance=max(p.cost for p in parts) / ideal,
+        owner_of=owner_of,
+    )
+
+
+# -- per-partition compiled kernels ---------------------------------------
+
+
+def _compile_part(module: RTLModule, part: Partition):
+    """Emit and compile this part's ``_edge``/``_settle`` functions.
+
+    Reuses the codegen emitter, so partition kernels get the same
+    staged-NBA rewrite, condition simplification and loop unrolling as
+    the fused single-kernel backend; sourceless processes fall back to
+    direct calls exactly as there.
+    """
+    comb_procs = [module.comb_procs[i] for i in part.comb_procs]
+    sync_procs = [module.sync_procs[i] for i in part.sync_procs]
+    em = _cg._Emitter(len(module.memories))
+    em.emit("def _edge(v, m):", 0)
+    if sync_procs:
+        em.emit_prologue(1)
+        em.emit_sync_section(sync_procs, 1)
+    else:
+        em.emit("pass", 1)
+    em.emit("", 0)
+    em.emit("def _settle(v, m):", 0)
+    if comb_procs:
+        em.emit_prologue(1)
+        for p in comb_procs:
+            em.emit_proc(p, "(v, m)", 1)
+    else:
+        em.emit("pass", 1)
+    lines = _cg._hoist_memories(
+        _cg._unroll_loops(_cg._simplify_conditions(em.lines)), em.nmem
+    )
+    source = "\n".join(lines)
+    code = compile(source, f"<partition:{module.name}>", "exec")
+    exec(code, em.namespace)  # noqa: S102 - our own generated code
+    return em.namespace["_edge"], em.namespace["_settle"], source
+
+
+class PartitionHost:
+    """Worker-side engine for one partition (full-size local arrays —
+    indices stay global, only *ownership* is partitioned)."""
+
+    def __init__(self, module: RTLModule, part: Partition) -> None:
+        self.part = part
+        self.v = module.fresh_values()
+        self.m = module.fresh_mems()
+        self._edge, self._settle, self.source = _compile_part(module, part)
+
+    def handle(self, op: str, *args: Any) -> Any:
+        part, v, m = self.part, self.v, self.m
+        if op == "edge":
+            for i, idx in enumerate(part.edge_in):
+                v[idx] = args[0][i]
+            self._edge(v, m)
+            return [v[i] for i in part.sync_out]
+        if op == "settle":
+            for i, idx in enumerate(part.settle_in):
+                v[idx] = args[0][i]
+            self._settle(v, m)
+            return [v[i] for i in part.comb_out]
+        if op == "cycles":
+            vals, n = args
+            for i, idx in enumerate(part.ext_in):
+                v[idx] = vals[i]
+            edge, settle = self._edge, self._settle
+            for _ in range(n):
+                edge(v, m)
+                settle(v, m)
+            return (
+                [v[i] for i in part.sync_out],
+                [v[i] for i in part.comb_out],
+            )
+        if op == "load":
+            self.v[:] = args[0]
+            return None
+        raise ValueError(f"unknown partition op {op!r}")
+
+
+class PartitionedSimulator:
+    """Drives one design cut into partitions (tier b).
+
+    Quacks like :class:`~repro.rtl.simulator.RTLSimulator` for
+    everything the verification stack drives (poke/peek/settle/tick/
+    run_cycles/reset/checkpoints), with ``backend == "partitioned"``.
+    The master's ``values`` array is complete after every round, so
+    lockstep comparison and checkpointing read it directly.
+
+    With ``use_pool=True`` (default) partitions execute in forked
+    workers through :class:`~repro.rtl.parallel.pool.RTLWorkerPool`;
+    otherwise they execute in-process (same protocol, no fork — the
+    deterministic reference for the pool path and the fallback where
+    fork is unavailable).  Callers should ``close()`` pooled instances.
+    """
+
+    def __init__(
+        self,
+        module: RTLModule,
+        parts: int = 2,
+        use_pool: bool = True,
+        plan: Optional[PartitionPlan] = None,
+    ) -> None:
+        self.module = module
+        self.plan = plan if plan is not None else partition_module(module, parts)
+        self.values: list[int] = module.fresh_values()
+        self.mems: list[list[int]] = module.fresh_mems()
+        self.cycle = 0
+        self.trace = None  # VCD tracing is a serial-backend feature
+        self.requested_backend = "partitioned"
+        self.backend = "partitioned"
+        self._hosts = [PartitionHost(module, p) for p in self.plan.parts]
+        self._pool: Optional[RTLWorkerPool] = None
+        self._hids: list[int] = []
+        if use_pool and pool_available() and len(self._hosts) > 1:
+            self._pool = RTLWorkerPool(len(self._hosts))
+            self._hids = [self._pool.register(h) for h in self._hosts]
+            self._pool.start()
+        # No initial settle: RTLSimulator doesn't settle on construction
+        # either, and an extra comb pass would advance coverage counters
+        # the serial backends wouldn't have advanced.
+
+    # -- plumbing --------------------------------------------------------
+
+    def _round(self, op: str, payloads: list[tuple]) -> list:
+        """One BSP round: fan *op* out to every part, barrier, and
+        return the replies in part order."""
+        if self._pool is None:
+            return [
+                h.handle(op, *payloads[i])
+                for i, h in enumerate(self._hosts)
+            ]
+        tickets = [
+            self._pool.submit(self._hids[i], op, *payloads[i])
+            for i in range(len(self._hosts))
+        ]
+        return [t.result() for t in tickets]
+
+    def _push_state(self) -> None:
+        """Overwrite every part's local array with the master's (rare
+        path: reset-from-fresh, checkpoint restore, internal pokes)."""
+        snapshot = list(self.values)
+        self._round("load", [(snapshot,)] * len(self._hosts))
+
+    # -- I/O -------------------------------------------------------------
+
+    def poke(self, name: str, value: int) -> None:
+        sig = self.module.signals[name]
+        self.values[sig.index] = value & sig.mask
+        if sig.index in self.plan.owner_of:
+            # an *owned* (internal) signal lives in a worker; push the
+            # master's view so the next round samples the poked value
+            self._push_state()
+
+    def peek(self, name: str) -> int:
+        return self.values[self.module.signals[name].index]
+
+    def peek_mem(self, name: str, addr: int) -> int:
+        mem = self.module.memories[name]
+        return self.mems[mem.index][addr]
+
+    # -- evaluation ------------------------------------------------------
+
+    def settle(self) -> None:
+        v = self.values
+        payloads = [
+            ([v[i] for i in p.settle_in],) for p in self.plan.parts
+        ]
+        outs = self._round("settle", payloads)
+        for p, vals in zip(self.plan.parts, outs):
+            for idx, val in zip(p.comb_out, vals):
+                v[idx] = val
+
+    def tick(self, cycles: int = 1) -> None:
+        for _ in range(cycles):
+            v = self.values
+            payloads = [
+                ([v[i] for i in p.edge_in],) for p in self.plan.parts
+            ]
+            outs = self._round("edge", payloads)
+            for p, vals in zip(self.plan.parts, outs):
+                for idx, val in zip(p.sync_out, vals):
+                    v[idx] = val
+            self.settle()
+            self.cycle += 1
+
+    def run_cycles(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"cannot run a negative cycle count ({n})")
+        if n == 0:
+            return
+        if self.plan.boundary:
+            self.tick(n)
+            return
+        # Boundary-free: every part depends only on module inputs, which
+        # the tick protocol freezes for the whole batch — one round trip
+        # runs all n cycles worker-side.
+        v = self.values
+        payloads = [
+            ([v[i] for i in p.ext_in], n) for p in self.plan.parts
+        ]
+        outs = self._round("cycles", payloads)
+        for p, (sync_vals, comb_vals) in zip(self.plan.parts, outs):
+            for idx, val in zip(p.sync_out, sync_vals):
+                v[idx] = val
+            for idx, val in zip(p.comb_out, comb_vals):
+                v[idx] = val
+        self.cycle += n
+
+    def reset(self, reset_signal: str = "rst", cycles: int = 2) -> None:
+        if reset_signal in self.module.signals:
+            self.poke(reset_signal, 1)
+            self.settle()
+            for _ in range(cycles):
+                self.tick()
+            self.poke(reset_signal, 0)
+            self.settle()
+        else:
+            self.values = self.module.fresh_values()
+            self.mems = self.module.fresh_mems()
+            self._push_state()
+            self.settle()
+
+    # -- checkpointing ---------------------------------------------------
+
+    def save_checkpoint(self) -> RTLCheckpoint:
+        return RTLCheckpoint(
+            cycle=self.cycle,
+            values=list(self.values),
+            mems=copy.deepcopy(self.mems),
+        )
+
+    def restore_checkpoint(self, ckpt: RTLCheckpoint) -> None:
+        if len(ckpt.values) != len(self.values):
+            raise ValueError("checkpoint does not match this design")
+        self.cycle = ckpt.cycle
+        self.values = list(ckpt.values)
+        self.mems = copy.deepcopy(ckpt.mems)
+        self._push_state()
+
+    # -- teardown --------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "PartitionedSimulator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering varies
+        try:
+            self.close()
+        except Exception:
+            pass
