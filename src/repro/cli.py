@@ -10,6 +10,8 @@ Commands
 ``table3``    full-system vs standalone overheads (paper Table 3)
 ``verify``    RTL verification: ``lint`` / ``cover`` / ``fuzz`` /
               ``equiv`` over the bundled designs (repro.verify)
+``serve``     run the simulation-as-a-service job server (repro.serve)
+``submit``    submit a job to a running server and optionally wait
 """
 
 from __future__ import annotations
@@ -469,6 +471,92 @@ def cmd_verify_equiv(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .parallel import ResultCache
+    from .serve import Scheduler, ServeServer, TenantRegistry
+
+    cache = None if args.no_cache else ResultCache()
+    tenants = (TenantRegistry.from_file(args.tenants)
+               if args.tenants else TenantRegistry())
+    scheduler = Scheduler(
+        worker_jobs=args.jobs,
+        fleet_slots=args.fleet,
+        shard_points=args.shard_points,
+        point_timeout=args.point_timeout,
+        cache=cache,
+        tenants=tenants,
+        checkpoint_root=args.checkpoint_dir,
+        maintenance_interval=args.maintenance_interval,
+    )
+    server = ServeServer(scheduler, host=args.host, port=args.port)
+
+    async def _main() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        print(f"repro serve listening on {server.address} "
+              f"(fleet={args.fleet} x jobs={args.jobs}, "
+              f"cache={'off' if cache is None else cache.root})",
+              file=sys.stderr, flush=True)
+        await server.wait_closed()
+        print("repro serve: clean shutdown", file=sys.stderr)
+
+    asyncio.run(_main())
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve import ServeClient, ServeError
+
+    params: dict = {}
+    if args.params_json:
+        params.update(_json.loads(args.params_json))
+    for pair in args.param:
+        if "=" not in pair:
+            raise SystemExit(f"bad --param {pair!r}; expected NAME=VALUE")
+        name, _, value = pair.partition("=")
+        try:
+            params[name] = _json.loads(value)
+        except ValueError:
+            # unquoted strings and comma lists are a CLI convenience
+            params[name] = value.split(",") if "," in value else value
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(args.tenant, args.kind, params,
+                            priority=args.priority)
+        if not args.wait:
+            print(_json.dumps(job, indent=2, sort_keys=True))
+            return 0
+        if args.events:
+            for event in client.events(job["id"]):
+                print(_json.dumps(event, sort_keys=True), file=sys.stderr)
+                if event.get("type") == "state" and event.get("state") in (
+                        "done", "failed", "cancelled"):
+                    break
+        status = client.wait(job["id"], timeout=args.timeout)
+        if status["state"] == "done":
+            print(_json.dumps(client.result(job["id"]),
+                              indent=2, sort_keys=True))
+            return 0
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 1
+    except ServeError as err:
+        print(f"submit failed: {err}", file=sys.stderr)
+        return 3 if err.status == 429 else 1
+    except (ConnectionError, OSError) as err:
+        print(f"cannot reach {args.url}: {err}", file=sys.stderr)
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -684,6 +772,63 @@ def build_parser() -> argparse.ArgumentParser:
                          "instead of the fused codegen kernel")
     add_opt_level(vp)
     vp.set_defaults(fn=cmd_verify_equiv)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service job server (repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="pool workers per running job's shard "
+                        "(default 2)")
+    p.add_argument("--fleet", type=int, default=1, metavar="M",
+                   help="jobs running concurrently; peak host load is "
+                        "M x N workers (default 1)")
+    p.add_argument("--shard-points", type=int, default=None, metavar="K",
+                   help="points per shard — the preemption/progress "
+                        "granularity (default: N, one pool wavefront)")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SEC",
+                   help="kill and retry any point exceeding this wall "
+                        "clock; hangs surface as job 'hang' events")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="root for per-shard REPRO_POINT_CKPT_DIR "
+                        "checkpoint dirs (enables timeout-kill resume)")
+    p.add_argument("--tenants", default=None, metavar="PATH",
+                   help="JSON quota file: {\"default\": {...}, "
+                        "\"tenants\": {NAME: {...}}}")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the shared ResultCache (every job "
+                        "re-simulates; dedup of live jobs still works)")
+    p.add_argument("--maintenance-interval", type=float, default=60.0,
+                   metavar="SEC",
+                   help="cache tmp-reap + terminal-job GC period")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a job to a running repro serve instance",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8321")
+    p.add_argument("--tenant", required=True)
+    p.add_argument("--kind", required=True,
+                   help="job kind, e.g. pmu_fig5 (GET /kinds lists them)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="job parameter (JSON value, bare string, or "
+                        "comma list; repeatable)")
+    p.add_argument("--params-json", default=None, metavar="JSON",
+                   help="job parameters as one JSON object")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="follow the job and print its result payload")
+    p.add_argument("--events", action="store_true",
+                   help="with --wait: mirror the event stream to stderr")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="give up waiting after this long")
+    p.set_defaults(fn=cmd_submit)
     return parser
 
 

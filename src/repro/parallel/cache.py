@@ -86,6 +86,12 @@ class ResultCache:
     #: ``*.tmp`` files older than this are orphans of a killed writer;
     #: younger ones may be another live worker's in-flight write.
     tmp_max_age_s: float = 3600.0
+    #: opportunistically re-reap after this many :meth:`put` calls — a
+    #: construction-time-only reap lets a long-lived process (the serve
+    #: layer runs for days) accumulate orphaned ``*.tmp`` files forever.
+    #: ``0`` disables the periodic re-reap (construction still reaps).
+    reap_every_puts: int = 256
+    _puts_since_reap: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.root = pathlib.Path(self.root) if self.root else default_cache_dir()
@@ -99,6 +105,7 @@ class ResultCache:
         accumulates them forever.  Returns the number removed.
         """
         assert self.root is not None
+        self._puts_since_reap = 0
         if not self.root.is_dir():
             return 0
         cutoff = time.time() - self.tmp_max_age_s
@@ -170,6 +177,9 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        self._puts_since_reap += 1
+        if self.reap_every_puts and self._puts_since_reap >= self.reap_every_puts:
+            self.reap_stale_tmp()
 
     def clear(self) -> int:
         """Delete every entry (and any leftover temp file); returns the

@@ -98,14 +98,20 @@ def _guarded(worker: Callable, point, env: Optional[dict] = None,
     Returning the traceback (rather than letting the exception
     propagate through the future) lets the parent distinguish a
     per-point soft failure from a pool-poisoning hard crash.  *env*
-    entries are exported before the call (per-point checkpoint dirs).
+    entries are exported before the call (per-point checkpoint dirs)
+    and the **prior** values — including absence — are restored after,
+    so a pre-set variable (e.g. an operator-exported
+    ``REPRO_POINT_CKPT_DIR`` in a serial run) survives the sweep.
     When *fault_dir* is set, worker-side faults from a parked
     :class:`~repro.resilience.FaultPlan` (inherited on fork) are
     applied before the point runs — ``worker-kill``/``worker-hang``
     fire here, once per point across retries.
     """
+    saved: dict[str, Optional[str]] = {}
     if env:
-        os.environ.update(env)
+        for key, value in env.items():
+            saved[key] = os.environ.get(key)
+            os.environ[key] = value
     if fault_dir is not None and index is not None:
         from repro.resilience import apply_worker_faults, control
 
@@ -115,9 +121,11 @@ def _guarded(worker: Callable, point, env: Optional[dict] = None,
     except BaseException:  # noqa: BLE001 - the parent re-raises with context
         return ("err", traceback.format_exc())
     finally:
-        if env:
-            for key in env:
+        for key, prior in saved.items():
+            if prior is None:
                 os.environ.pop(key, None)
+            else:
+                os.environ[key] = prior
 
 
 def _pool_context():
@@ -247,6 +255,34 @@ def _run_pool(
         broke = False
         crash: Optional[BaseException] = None
         clean = False
+
+        def harvest(fut) -> None:
+            """Resolve one completed future: ok, soft-retry, or broken
+            pool (the latter flips *broke* and requeues uncharged)."""
+            nonlocal broke, crash
+            i, _start = inflight.pop(fut)
+            try:
+                status, payload = fut.result()
+            except BaseException as exc:  # noqa: BLE001 - broken pool
+                # The pool is poisoned; this future (and likely the
+                # rest) never ran.  Requeue without charging an
+                # attempt — we cannot tell who crashed.
+                broke, crash = True, exc
+                requeue_innocent(i)
+                return
+            if status == "ok":
+                resolve_ok(i, payload)
+            else:
+                attempts = stats.attempts.get(i, 0) + 1
+                stats.attempts[i] = attempts
+                if attempts >= max_attempts:
+                    resolve_failure(
+                        i, PointFailure(points[i], attempts, payload), pool,
+                    )
+                else:
+                    stats.soft_retries += 1
+                    queue.append(i)
+
         try:
             while queue or inflight:
                 # windowed submission: at most *jobs* outstanding, so a
@@ -280,49 +316,40 @@ def _run_pool(
                 )
 
                 for fut in done:
-                    i, _start = inflight.pop(fut)
-                    try:
-                        status, payload = fut.result()
-                    except BaseException as exc:  # noqa: BLE001 - broken pool
-                        # The pool is poisoned; this future (and likely
-                        # the rest) never ran.  Requeue without charging
-                        # an attempt — we cannot tell who crashed.
-                        broke, crash = True, exc
-                        requeue_innocent(i)
-                        continue
-                    if status == "ok":
-                        resolve_ok(i, payload)
-                    else:
-                        attempts = stats.attempts.get(i, 0) + 1
-                        stats.attempts[i] = attempts
-                        if attempts >= max_attempts:
-                            resolve_failure(
-                                i, PointFailure(points[i], attempts, payload),
-                                pool,
-                            )
-                        else:
-                            stats.soft_retries += 1
-                            queue.append(i)
+                    harvest(fut)
                 if broke:
                     break
 
-                if point_timeout is not None and not done:
+                # Expiry is scanned on EVERY iteration — not only when
+                # wait() came back empty.  Otherwise one hung worker
+                # evades its deadline indefinitely while fast
+                # neighbours keep completing (each completion makes
+                # wait() return early with a non-empty `done`, and the
+                # deadline is never consulted until the queue drains).
+                if point_timeout is not None and inflight:
                     now = time.monotonic()
-                    expired = [
-                        (fut, i) for fut, (i, start) in inflight.items()
-                        if now - start >= point_timeout
-                    ]
-                    if not expired:
+                    hung = {
+                        fut for fut, (i, start) in inflight.items()
+                        if now - start >= point_timeout and not fut.done()
+                    }
+                    if not hung:
                         continue
+                    # Harvest anything that completed between wait()
+                    # and this scan first: finished work must never be
+                    # discarded and re-run as an "innocent" requeue —
+                    # and a future that ran over the deadline but DID
+                    # complete is a result, not a hang.
+                    for fut in [f for f in list(inflight) if f.done()]:
+                        harvest(fut)
+                    if broke:
+                        break
                     # A hung worker cannot be cancelled; kill the pool.
-                    # The expired point is charged a hard attempt; other
+                    # Each hung point is charged a hard attempt; other
                     # in-flight points are requeued uncharged.
-                    expired_futs = {fut for fut, _i in expired}
                     for fut, (i, _start) in list(inflight.items()):
-                        if fut in expired_futs:
+                        if fut not in hung:
+                            requeue_innocent(i)
                             continue
-                        requeue_innocent(i)
-                    for _fut, i in expired:
                         attempts = stats.attempts.get(i, 0) + 1
                         stats.attempts[i] = attempts
                         stats.timeout_kills += 1

@@ -1,0 +1,112 @@
+"""Per-tenant quotas for the serve layer.
+
+A tenant is just a caller-supplied name on the submit request — this
+is a single-trust-domain service (everyone who can reach the socket is
+trusted); quotas exist to keep one noisy tenant from starving the
+fleet, not as a security boundary.
+
+Quota checks happen at **admission**: a request that would exceed the
+tenant's queued-job, point-count or priority budget is rejected with
+:class:`QuotaExceeded` (HTTP 429 at the server).  ``max_running`` is a
+*scheduling* constraint — admitted jobs beyond it simply wait in the
+queue while the tenant's running count is at the cap.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+__all__ = ["QuotaExceeded", "TenantQuota", "TenantRegistry"]
+
+
+class QuotaExceeded(RuntimeError):
+    """Admission-time quota rejection; carries tenant + reason."""
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    #: jobs this tenant may have running at once (dispatch-time cap)
+    max_running: int = 2
+    #: non-terminal jobs (queued + running, dedup followers included)
+    max_queued: int = 16
+    #: points in one submitted sweep
+    max_points_per_job: int = 512
+    #: highest priority this tenant may request
+    max_priority: int = 9
+
+    def merged(self, overrides: dict) -> "TenantQuota":
+        known = {f.name for f in fields(self)}
+        extra = set(overrides) - known
+        if extra:
+            raise ValueError(f"unknown quota fields {sorted(extra)}")
+        return replace(self, **{k: int(v) for k, v in overrides.items()})
+
+
+class TenantRegistry:
+    """Maps tenant names to quotas (default + per-tenant overrides)."""
+
+    def __init__(
+        self,
+        default: Optional[TenantQuota] = None,
+        overrides: Optional[dict[str, TenantQuota]] = None,
+    ) -> None:
+        self.default = default or TenantQuota()
+        self.overrides = dict(overrides or {})
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self.overrides.get(tenant, self.default)
+
+    @classmethod
+    def from_file(cls, path: str) -> "TenantRegistry":
+        """Load ``{"default": {...}, "tenants": {NAME: {...}}}`` JSON.
+
+        Per-tenant entries override the (possibly customised) default
+        field-by-field.
+        """
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: expected a JSON object")
+        default = TenantQuota().merged(doc.get("default", {}))
+        overrides = {
+            name: default.merged(entry)
+            for name, entry in doc.get("tenants", {}).items()
+        }
+        return cls(default, overrides)
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(
+        self,
+        tenant: str,
+        active_jobs: int,
+        n_points: int,
+        priority: int,
+    ) -> None:
+        """Raise :class:`QuotaExceeded` unless one more job fits."""
+        if not tenant:
+            raise QuotaExceeded("<empty>", "tenant name must be non-empty")
+        q = self.quota(tenant)
+        if active_jobs + 1 > q.max_queued:
+            raise QuotaExceeded(
+                tenant,
+                f"max_queued={q.max_queued} non-terminal jobs reached",
+            )
+        if n_points > q.max_points_per_job:
+            raise QuotaExceeded(
+                tenant,
+                f"{n_points} points exceeds "
+                f"max_points_per_job={q.max_points_per_job}",
+            )
+        if priority > q.max_priority:
+            raise QuotaExceeded(
+                tenant,
+                f"priority {priority} exceeds max_priority={q.max_priority}",
+            )

@@ -150,6 +150,48 @@ class TestTmpReap:
         c = ResultCache(tmp_path / "never_created")
         assert c.reap_stale_tmp() == 0
 
+    def test_periodic_reap_after_n_puts(self, tmp_path):
+        """A long-lived writer (the serve layer) must keep reaping:
+        every ``reap_every_puts`` stores triggers a sweep, so orphans
+        left by workers killed mid-write don't accumulate forever."""
+        c = ResultCache(tmp_path, reap_every_puts=3)
+        orphan = tmp_path / "tmporphan.tmp"
+        orphan.write_text("{torn", encoding="utf-8")
+        self._age(orphan, 7200)
+        c.put(c.key(i=0), 0)
+        c.put(c.key(i=1), 1)
+        assert orphan.exists()          # interval not reached yet
+        c.put(c.key(i=2), 2)
+        assert not orphan.exists()
+
+    def test_periodic_reap_spares_fresh_tmp(self, tmp_path):
+        c = ResultCache(tmp_path, reap_every_puts=1)
+        inflight = tmp_path / "tmplive.tmp"
+        inflight.write_text("{partial", encoding="utf-8")
+        c.put(c.key(i=0), 0)
+        assert inflight.exists()
+
+    def test_periodic_reap_disabled_with_zero(self, tmp_path):
+        c = ResultCache(tmp_path, reap_every_puts=0)
+        orphan = tmp_path / "tmporphan.tmp"
+        orphan.write_text("", encoding="utf-8")
+        self._age(orphan, 7200)
+        for i in range(5):
+            c.put(c.key(i=i), i)
+        assert orphan.exists()
+
+    def test_manual_reap_resets_put_counter(self, tmp_path):
+        c = ResultCache(tmp_path, reap_every_puts=2)
+        c.put(c.key(i=0), 0)
+        c.reap_stale_tmp()              # external sweep resets the clock
+        orphan = tmp_path / "tmporphan.tmp"
+        orphan.write_text("", encoding="utf-8")
+        self._age(orphan, 7200)
+        c.put(c.key(i=1), 1)
+        assert orphan.exists()          # counter restarted at the sweep
+        c.put(c.key(i=2), 2)
+        assert not orphan.exists()
+
 
 class TestDefaultDir:
     def test_env_override(self, monkeypatch, tmp_path):
