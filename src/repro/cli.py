@@ -10,6 +10,8 @@ Commands
 ``table3``    full-system vs standalone overheads (paper Table 3)
 ``verify``    RTL verification: ``lint`` / ``cover`` / ``fuzz`` /
               ``equiv`` over the bundled designs (repro.verify)
+``campaign``  fault-injection campaign: golden run, triaged experiments,
+              per-signal vulnerability report (repro.resilience.campaign)
 ``serve``     run the simulation-as-a-service job server (repro.serve)
 ``submit``    submit a job to a running server and optionally wait
 """
@@ -180,7 +182,11 @@ def _setup_resilience(args: argparse.Namespace):
     from .resilience import FaultPlan, control
 
     if inject:
-        plan = FaultPlan.parse(inject.split(","), seed=seed or 0)
+        try:
+            plan = FaultPlan.parse(inject.split(","), seed=seed or 0)
+        except ValueError as err:
+            print(f"repro: --inject: {err}", file=sys.stderr)
+            raise SystemExit(2)
         control.set_pending_plan(plan)
     elif seed is not None:
         plan = FaultPlan.generate(seed)
@@ -286,6 +292,81 @@ def cmd_table3(args: argparse.Namespace) -> int:
                       rtl_jobs=args.rtl_jobs)
     _report_run_stats(stats)
     print(render_table3(rows))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from .parallel import ResultCache, RunStats
+    from .resilience.campaign import render_report, run_campaign
+    from .resilience.targets import TARGETS
+
+    if args.list_targets:
+        width = max(len(name) for name in TARGETS)
+        for name in sorted(TARGETS):
+            target = TARGETS[name]
+            defaults = ", ".join(
+                f"{k}={v}" for k, v in sorted(target.defaults.items())
+            )
+            print(f"{name:<{width}}  {target.description}")
+            print(f"{'':<{width}}  defaults: {defaults}")
+        return 0
+    if not args.target:
+        print("repro: campaign: a TARGET is required "
+              "(see --list-targets)", file=sys.stderr)
+        return 2
+
+    overrides = {}
+    for pair in args.param:
+        if "=" not in pair:
+            print(f"repro: campaign: bad --param {pair!r}; "
+                  f"expected NAME=VALUE", file=sys.stderr)
+            return 2
+        name, _, value = pair.partition("=")
+        overrides[name] = value
+    cache = None if args.no_cache else ResultCache()
+    stats = RunStats()
+    try:
+        report = run_campaign(
+            args.target, params=overrides, budget=args.budget,
+            seed=args.seed, jobs=args.jobs, cache=cache,
+            use_cache=not args.no_cache,
+            checkpoint_every=args.checkpoint_every,
+            max_cycles=args.max_cycles,
+            watchdog_interval=args.watchdog_interval,
+            wall_timeout=args.wall_timeout,
+            point_timeout=args.point_timeout,
+            progress=_progress(args.budget, "campaign"), stats=stats,
+        )
+    except ValueError as err:
+        print(f"repro: campaign: {err}", file=sys.stderr)
+        return 2
+    _report_run_stats(stats)
+
+    hist = report["histogram"]
+    parts = ", ".join(f"{name} {hist[name]}" for name in hist if hist[name])
+    print(f"campaign: {args.target} seed={args.seed} "
+          f"budget={report['campaign']['budget']}")
+    print(f"outcomes: {parts or 'none'}")
+    avf = report["avf"]
+    low, high = report["avf_ci95"]
+    if avf is not None:
+        print(f"AVF: {avf:.4f} (95% CI [{low:.4f}, {high:.4f}] "
+              f"over {report['valid_samples']} experiments)")
+    width = max((len(name) for name in report["signals"]), default=6)
+    print(f"{'signal':<{width}}  {'n':>4}  {'vuln':>4}  "
+          f"{'avf':>7}  ci95")
+    for name, entry in report["signals"].items():
+        savf = entry["avf"]
+        slo, shi = entry["avf_ci95"]
+        print(f"{name:<{width}}  {entry['valid_samples']:>4}  "
+              f"{entry['vulnerable']:>4}  "
+              f"{'-' if savf is None else f'{savf:>7.4f}'}  "
+              f"[{slo:.4f}, {shi:.4f}]")
+    if args.report:
+        os.makedirs(os.path.dirname(args.report) or ".", exist_ok=True)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(render_report(report))
+        print(f"report written to {args.report}")
     return 0
 
 
@@ -690,6 +771,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_trace_opts(p)
     add_resilience_opts(p)
     p.set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser(
+        "campaign",
+        help="fault-injection campaign with triage and AVF report",
+    )
+    p.add_argument("target", nargs="?", default=None,
+                   help="campaign target name (see --list-targets)")
+    p.add_argument("--list-targets", action="store_true",
+                   help="list registered campaign targets and exit")
+    p.add_argument("--budget", type=int, default=32, metavar="N",
+                   help="number of fault-injection experiments "
+                        "(default 32)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling seed (same seed => same faults => "
+                        "byte-identical report)")
+    p.add_argument("--param", action="append", default=[],
+                   metavar="NAME=VALUE",
+                   help="target parameter override (repeatable)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write the full JSON vulnerability report here")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   metavar="CYC",
+                   help="golden checkpoint cadence "
+                        "(default: per-target)")
+    p.add_argument("--max-cycles", type=int, default=None, metavar="CYC",
+                   help="per-experiment cycle budget "
+                        "(default: per-target)")
+    p.add_argument("--watchdog-interval", type=int, default=2_000,
+                   metavar="CYC",
+                   help="hang-watchdog check interval (default 2000)")
+    p.add_argument("--wall-timeout", type=float, default=600.0,
+                   metavar="SEC",
+                   help="per-experiment wall-clock budget "
+                        "(default 600)")
+    p.add_argument("--point-timeout", type=float, default=None,
+                   metavar="SEC",
+                   help="with --jobs > 1: kill and retry any "
+                        "experiment exceeding this wall clock")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the shared result "
+                        "cache (experiments always re-run)")
+    add_jobs(p)
+    p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser(
         "verify",

@@ -3,19 +3,25 @@
 from .wrapper import (
     FILL_LANES,
     LINE_BYTES,
+    RTLCACHE_ECC_OUTPUT,
     RTLCACHE_INPUT,
     RTLCACHE_OUTPUT,
+    RTLCacheECCSharedLibrary,
     RTLCacheObject,
     RTLCacheSharedLibrary,
+    load_rtl_cache_ecc_source,
     load_rtl_cache_source,
 )
 
 __all__ = [
     "FILL_LANES",
     "LINE_BYTES",
+    "RTLCACHE_ECC_OUTPUT",
     "RTLCACHE_INPUT",
     "RTLCACHE_OUTPUT",
+    "RTLCacheECCSharedLibrary",
     "RTLCacheObject",
     "RTLCacheSharedLibrary",
+    "load_rtl_cache_ecc_source",
     "load_rtl_cache_source",
 ]

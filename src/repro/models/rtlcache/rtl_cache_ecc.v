@@ -1,0 +1,193 @@
+// ---------------------------------------------------------------------------
+// RTL cache with per-word parity protection (fault-campaign ECC variant)
+//
+// Same interface and organisation as rtl_cache.v — direct-mapped,
+// write-through, one outstanding miss — plus one even-parity bit per
+// 64-bit word of every line.  A parity mismatch on a read hit is NOT
+// served: the access counts a correction, the line is refetched from
+// memory (write-through keeps memory authoritative), and the fill
+// rewrites both the data and its parity.  A single-bit upset in the
+// data or parity store therefore becomes a detected-and-corrected
+// outcome instead of silent data corruption.
+//
+// The extra `corrections` output is the detection counter the
+// fault-campaign triage reads.
+//
+// Compiled unmodified by repro.hdl.verilog.
+// ---------------------------------------------------------------------------
+
+module rtl_cache_ecc #(
+    parameter IDXW = 6     // 2^IDXW lines of 64 bytes
+) (
+    input clk,
+    input rst,
+
+    // CPU-side request (held stable until resp_valid)
+    input req_valid,
+    input req_write,
+    input [31:0] req_addr,
+    input [63:0] req_wdata,
+    output reg resp_valid,
+    output reg [63:0] resp_rdata,
+    output reg resp_was_hit,
+
+    // memory-side: line fill
+    output reg miss_valid,
+    output reg [31:0] miss_addr,
+    input fill_valid,
+    input [511:0] fill_data,
+
+    // memory-side: write-through
+    output reg wt_valid,
+    output reg [31:0] wt_addr,
+    output reg [63:0] wt_data,
+
+    // observability
+    output [31:0] hit_count,
+    output [31:0] miss_count,
+    output [31:0] corrections
+);
+
+    localparam LINES = 1 << IDXW;
+
+    reg [19:0] tags [0:LINES-1];
+    reg [LINES-1:0] valid;
+    reg [511:0] data [0:LINES-1];
+    reg [7:0] par [0:LINES-1];   // one even-parity bit per 64-bit word
+
+    reg busy;                 // miss outstanding
+    reg [31:0] hits;
+    reg [31:0] misses;
+    reg [31:0] corr;
+    integer i;
+
+    wire [IDXW-1:0] index;
+    wire [19:0] tag;
+    wire [2:0] word;
+    wire hit;
+
+    assign index = req_addr[IDXW+5:6];
+    assign tag = req_addr[31:12];
+    assign word = req_addr[5:3];
+    assign hit = valid[index] && (tags[index] == tag);
+    assign hit_count = hits;
+    assign miss_count = misses;
+    assign corrections = corr;
+
+    // per-word parity of an incoming fill
+    wire [63:0] f0;
+    wire [63:0] f1;
+    wire [63:0] f2;
+    wire [63:0] f3;
+    wire [63:0] f4;
+    wire [63:0] f5;
+    wire [63:0] f6;
+    wire [63:0] f7;
+    assign f0 = fill_data[63:0];
+    assign f1 = fill_data[127:64];
+    assign f2 = fill_data[191:128];
+    assign f3 = fill_data[255:192];
+    assign f4 = fill_data[319:256];
+    assign f5 = fill_data[383:320];
+    assign f6 = fill_data[447:384];
+    assign f7 = fill_data[511:448];
+    wire [7:0] fill_par;
+    assign fill_par = {^f7, ^f6, ^f5, ^f4, ^f3, ^f2, ^f1, ^f0};
+
+    // the addressed word of the indexed line, and its stored parity bit
+    wire [511:0] line;
+    wire [63:0] sel;
+    wire [7:0] line_par;
+    wire stored_par;
+    wire perr;
+    assign line = data[index];
+    // the shift selects one 64-bit word of the line; dropping the
+    // upper bits is the whole point
+    // repro-lint: waive=WIDTH
+    assign sel = line >> {word, 6'b0};
+    assign line_par = par[index];
+    // LSB after the shift is this word's parity bit
+    // repro-lint: waive=WIDTH
+    assign stored_par = line_par >> word;
+    assign perr = (^sel) != stored_par;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            valid <= 0;
+            busy <= 0;
+            hits <= 0;
+            misses <= 0;
+            corr <= 0;
+            resp_valid <= 0;
+            resp_rdata <= 0;
+            resp_was_hit <= 0;
+            miss_valid <= 0;
+            miss_addr <= 0;
+            wt_valid <= 0;
+            wt_addr <= 0;
+            wt_data <= 0;
+            for (i = 0; i < LINES; i = i + 1) begin
+                tags[i] <= 0;
+                par[i] <= 0;
+            end
+        end else begin
+            resp_valid <= 0;
+            miss_valid <= 0;
+            wt_valid <= 0;
+
+            if (busy) begin
+                // waiting for the line fill
+                if (fill_valid) begin
+                    data[index] <= fill_data;
+                    par[index] <= fill_par;
+                    tags[index] <= tag;
+                    valid[index] <= 1'b1;
+                    busy <= 0;
+                    resp_valid <= 1;
+                    resp_was_hit <= 0;
+                    // repro-lint: waive=WIDTH  (word-select truncation)
+                    resp_rdata <= fill_data >> {word, 6'b0};
+                end
+            end else if (req_valid) begin
+                if (req_write) begin
+                    // write-through; update line + parity on a write hit
+                    if (hit) begin
+                        data[index] <= (data[index]
+                            & ~(512'hFFFF_FFFF_FFFF_FFFF << {word, 6'b0}))
+                            | ({448'b0, req_wdata} << {word, 6'b0});
+                        par[index] <= (par[index] & ~(8'b1 << word))
+                            | ({7'b0, ^req_wdata} << word);
+                        hits <= hits + 1;
+                    end else begin
+                        misses <= misses + 1;
+                    end
+                    wt_valid <= 1;
+                    wt_addr <= req_addr;
+                    wt_data <= req_wdata;
+                    resp_valid <= 1;
+                    resp_was_hit <= hit;
+                end else if (hit && perr) begin
+                    // parity mismatch on a read hit: detected.  Refetch
+                    // the line instead of serving corrupted data — the
+                    // write-through memory below holds the truth.
+                    corr <= corr + 1;
+                    busy <= 1;
+                    miss_valid <= 1;
+                    miss_addr <= {req_addr[31:6], 6'b0};
+                end else if (hit) begin
+                    hits <= hits + 1;
+                    resp_valid <= 1;
+                    resp_was_hit <= 1;
+                    resp_rdata <= sel;
+                end else begin
+                    // read miss: fetch the line
+                    misses <= misses + 1;
+                    busy <= 1;
+                    miss_valid <= 1;
+                    miss_addr <= {req_addr[31:6], 6'b0};
+                end
+            end
+        end
+    end
+
+endmodule

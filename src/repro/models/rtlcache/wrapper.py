@@ -50,11 +50,24 @@ RTLCACHE_OUTPUT = StructSpec(
     ],
 )
 
+RTLCACHE_ECC_OUTPUT = StructSpec(
+    "rtlcache_ecc_out",
+    RTLCACHE_OUTPUT.fields + [Field("corrections", 32)],
+)
+
 
 def load_rtl_cache_source() -> str:
     return (
         importlib.resources.files("repro.models.rtlcache")
         .joinpath("rtl_cache.v")
+        .read_text(encoding="utf-8")
+    )
+
+
+def load_rtl_cache_ecc_source() -> str:
+    return (
+        importlib.resources.files("repro.models.rtlcache")
+        .joinpath("rtl_cache_ecc.v")
         .read_text(encoding="utf-8")
     )
 
@@ -107,6 +120,37 @@ class RTLCacheSharedLibrary(RTLSharedLibrary):
         }
 
 
+class RTLCacheECCSharedLibrary(RTLCacheSharedLibrary):
+    """tick/reset wrapper around the parity-protected cache variant.
+
+    Same port discipline as the base cache plus a ``corrections``
+    counter — a parity mismatch on a read hit refetches the line from
+    memory instead of serving corrupted data.
+    """
+
+    output_spec = RTLCACHE_ECC_OUTPUT
+
+    def __init__(
+        self,
+        idxw: int = 6,
+        trace_stream: Optional[TextIO] = None,
+        trace_enabled: bool = False,
+        backend: str = "codegen",
+    ) -> None:
+        rtl = compile_verilog(
+            load_rtl_cache_ecc_source(), top="rtl_cache_ecc",
+            params={"IDXW": idxw},
+        )
+        RTLSharedLibrary.__init__(self, rtl, trace_stream=trace_stream,
+                                  trace_enabled=trace_enabled, backend=backend)
+        self.lines = 1 << idxw
+
+    def collect(self) -> dict:
+        out = super().collect()
+        out["corrections"] = self.sim.peek("corrections")
+        return out
+
+
 class RTLCacheObject(RTLObject):
     """Places the RTL cache between a requestor and the memory system.
 
@@ -132,6 +176,11 @@ class RTLCacheObject(RTLObject):
             "rtl_hits", lambda: self.library.sim.peek("hit_count"))
         self.st_rtl_misses = self.stats.formula(
             "rtl_misses", lambda: self.library.sim.peek("miss_count"))
+        if "corrections" in self.library.sim.module.signals:
+            # parity-protected variant: detected-and-corrected upsets
+            self.st_rtl_corrections = self.stats.formula(
+                "rtl_corrections",
+                lambda: self.library.sim.peek("corrections"))
 
     # -- struct exchange ---------------------------------------------------
 

@@ -12,10 +12,31 @@ Three cooperating pieces for long-running simulation fleets:
 * :mod:`repro.resilience.faults` — seeded, deterministic fault
   injection (:class:`FaultPlan`) used both as a chaos harness for the
   watchdog/runner and via the ``--inject`` CLI flag.
+* :mod:`repro.resilience.campaign` — soft-error fault-injection
+  campaigns: golden run + checkpoints, named-signal flip sampling,
+  parallel experiments, outcome triage, per-signal vulnerability
+  reports (``repro campaign`` CLI).
 """
 
+from .campaign import (
+    OUTCOMES,
+    run_campaign,
+    run_experiment,
+    sample_faults,
+    vulnerability_report,
+    wilson_interval,
+)
 from .control import PeriodicCheckpointer
-from .faults import Fault, FaultInjector, FaultPlan, apply_worker_faults
+from .faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    apply_worker_faults,
+    flip_targets,
+    resolve_flip_index,
+    validate_flip_target,
+)
+from .targets import CampaignTarget, get_target, normalize_params
 from .serialize import (
     CHECKPOINT_VERSION,
     CheckpointError,
@@ -27,16 +48,28 @@ from .watchdog import HangReport, SimulationHang, Watchdog
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CampaignTarget",
     "CheckpointError",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "HangReport",
     "NotCheckpointable",
+    "OUTCOMES",
     "PeriodicCheckpointer",
     "SimulationHang",
     "Watchdog",
     "apply_worker_faults",
+    "flip_targets",
+    "get_target",
+    "normalize_params",
+    "resolve_flip_index",
     "restore_checkpoint",
+    "run_campaign",
+    "run_experiment",
+    "sample_faults",
     "save_checkpoint",
+    "validate_flip_target",
+    "vulnerability_report",
+    "wilson_interval",
 ]

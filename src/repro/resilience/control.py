@@ -157,6 +157,10 @@ class PeriodicCheckpointer(SimObject):
         self._event = Event(self._take, f"{name}.ckpt")
         self._index = 0
         self.last_checkpoint_path: Optional[str] = None
+        # (path, tick-at-save) per checkpoint.  IO vetoes can slide a
+        # save past its nominal cycle, so campaign restores must consult
+        # the recorded tick, not ``index * every_cycles``.
+        self.manifest: list[tuple[str, int]] = []
         self.st_saved = self.stats.scalar("saved", "checkpoints written")
 
     def startup(self) -> None:
@@ -175,8 +179,9 @@ class PeriodicCheckpointer(SimObject):
                              EventPriority.STATS)
         path = os.path.join(self.directory, f"ckpt-{self._index:04d}.ckpt")
         self._index += 1
-        self.sim.save_checkpoint(path)
+        tick = self.sim.save_checkpoint(path)
         self.last_checkpoint_path = path
+        self.manifest.append((path, tick))
         self.st_saved.inc()
 
     # -- checkpointing (of the checkpointer itself) ------------------------
@@ -188,8 +193,12 @@ class PeriodicCheckpointer(SimObject):
         return {
             "index": self._index,
             "last_path": self.last_checkpoint_path,
+            "manifest": [list(entry) for entry in self.manifest],
         }
 
     def unserialize(self, state: dict, ctx) -> None:
         self._index = state["index"]
         self.last_checkpoint_path = state["last_path"]
+        self.manifest = [
+            (path, tick) for path, tick in state.get("manifest", [])
+        ]

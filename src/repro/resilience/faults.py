@@ -16,8 +16,14 @@ Simulation-side faults (applied by :class:`FaultInjector`, a SimObject):
 * ``retry-storm@T:D`` — from cycle T for D cycles (0 = forever), every
   crossbar rejects every request while retries are kicked each cycle: a
   genuine livelock (events fire constantly, nothing progresses);
-* ``rtl-flip@T:B`` — at cycle T, flip one bit (index B, modulo state
-  size) of every RTL-backed model's flop state.
+* ``rtl-flip@T:NAME.B`` — at cycle T, flip bit B of the named flop
+  signal (``busy.0``) or memory word (``counters[3].7``) in every
+  RTL-backed model that has it.  Targets resolve by *name*, so the same
+  spec lands on the same state bit on every backend and at every
+  ``-O`` level;
+* ``rtl-flip@T:B`` — legacy bare-index form: B indexes (modulo) the
+  name-sorted flop-signal bit space — again backend/opt-level
+  invariant, unlike the old raw-state-vector modulo.
 
 Worker-side faults (applied by :func:`apply_worker_faults` inside a
 parallel sweep worker):
@@ -58,21 +64,172 @@ class Fault:
     The trigger unit depends on the kind: a DRAM read-completion ordinal
     (``dram-*``), an injector-clock cycle (``retry-storm``,
     ``rtl-flip``), or a sweep point index (``worker-*``).
+
+    For ``rtl-flip``, *signal* names the flop signal (``busy``) or
+    memory word (``counters[3]``) whose bit *arg* is flipped; with
+    ``signal=None`` *arg* is a legacy flat bit index resolved over the
+    name-sorted flop space (see :func:`flip_targets`).
     """
 
     kind: str
     trigger: int
     arg: int = 0
+    signal: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.trigger < 0 or self.arg < 0:
             raise ValueError(f"fault parameters must be >= 0: {self}")
+        if self.signal is not None and self.kind != "rtl-flip":
+            raise ValueError(
+                f"only rtl-flip faults take a signal target: {self}"
+            )
 
     def spec(self) -> str:
         base = f"{self.kind}@{self.trigger}"
+        if self.signal is not None:
+            return f"{base}:{self.signal}.{self.arg}"
         return f"{base}:{self.arg}" if self.arg else base
+
+
+def _parse_one(spec: str, design=None) -> Fault:
+    """Parse a single ``kind@trigger[:arg]`` spec (ValueError on junk)."""
+    kind, _, rest = spec.partition("@")
+    if not rest:
+        raise ValueError("want kind@trigger[:arg]")
+    trigger_text, _, arg = rest.partition(":")
+    try:
+        trigger = int(trigger_text)
+    except ValueError:
+        raise ValueError(f"trigger {trigger_text!r} is not an integer") from None
+    if kind == "rtl-flip" and arg and not arg.lstrip("-").isdigit():
+        # named-target form: NAME.BIT, where NAME may itself contain
+        # dots (flattened hierarchy) — the bit index is the last field
+        signal, dot, bit_text = arg.rpartition(".")
+        if not dot or not signal:
+            raise ValueError(
+                f"flip target {arg!r} must be SIGNAL.BIT or MEM[WORD].BIT"
+            )
+        try:
+            bit = int(bit_text)
+        except ValueError:
+            raise ValueError(
+                f"flip bit {bit_text!r} is not an integer"
+            ) from None
+        fault = Fault(kind, trigger, bit, signal=signal)
+        if design is not None:
+            validate_flip_target(design, signal, bit)
+        return fault
+    try:
+        arg_value = int(arg) if arg else 0
+    except ValueError:
+        raise ValueError(f"argument {arg!r} is not an integer") from None
+    if kind == "rtl-flip" and design is not None:
+        # pin the bare index to a named target now, so the plan digest
+        # (and therefore checkpoint compatibility) names the real bit
+        resolved = resolve_flip_index(design, arg_value)
+        if resolved is not None:
+            return Fault(kind, trigger, resolved[1], signal=resolved[0])
+    return Fault(kind, trigger, arg_value)
+
+
+def validate_flip_target(module, signal: str, bit: int) -> None:
+    """Check a named flip target against an elaborated module.
+
+    Accepts plain signal names (``busy``) and memory-word targets
+    (``counters[3]``); raises ``ValueError`` for unknown names and
+    out-of-range bits/words.
+    """
+    if signal.endswith("]") and "[" in signal:
+        mem_name, _, word_text = signal[:-1].partition("[")
+        mem = module.memories.get(mem_name)
+        if mem is None:
+            known = ", ".join(sorted(module.memories)) or "<none>"
+            raise ValueError(
+                f"unknown memory {mem_name!r} in {module.name!r} "
+                f"(memories: {known})"
+            )
+        try:
+            word = int(word_text)
+        except ValueError:
+            raise ValueError(
+                f"memory word {word_text!r} is not an integer"
+            ) from None
+        if not 0 <= word < mem.depth:
+            raise ValueError(
+                f"word {word} out of range for memory {mem_name!r} "
+                f"(depth {mem.depth})"
+            )
+        if not 0 <= bit < mem.width:
+            raise ValueError(
+                f"bit {bit} out of range for memory {mem_name!r} "
+                f"(width {mem.width})"
+            )
+        return
+    sig = module.signals.get(signal)
+    if sig is None or signal.startswith("__cov__"):
+        raise ValueError(
+            f"unknown signal {signal!r} in design {module.name!r}"
+        )
+    if not 0 <= bit < sig.width:
+        raise ValueError(
+            f"bit {bit} out of range for signal {signal!r} "
+            f"(width {sig.width})"
+        )
+
+
+def flip_targets(module, include_memories: bool = False) -> list:
+    """Flippable state targets of *module*, as ``(name, width)`` pairs.
+
+    The list is ordered by name, independent of elaboration order,
+    backend and optimisation level (the signal table is invariant
+    across ``-O`` levels by the PR 6 contract) — this is the resolution
+    space for bare-index ``rtl-flip`` faults and the enumeration space
+    for fault-injection campaigns.
+
+    Signals are *flops*: visible (no coverage counters), non-input
+    signals written by a synchronous process.  With *include_memories*
+    every memory word is appended as ``name[word]``.
+    """
+    flop_indices: set = set()
+    for proc in module.sync_procs:
+        flop_indices |= proc.writes
+    targets = [
+        (s.name, s.width)
+        for s in module.visible_signals()
+        if not s.is_input and (not flop_indices or s.index in flop_indices)
+    ]
+    targets.sort()
+    if include_memories:
+        mem_targets = []
+        for name in sorted(module.memories):
+            mem = module.memories[name]
+            mem_targets += [
+                (f"{name}[{word}]", mem.width) for word in range(mem.depth)
+            ]
+        targets += mem_targets
+    return targets
+
+
+def resolve_flip_index(module, index: int):
+    """Resolve a legacy flat bit *index* to a named ``(signal, bit)``.
+
+    The index is taken modulo the total bit count of
+    :func:`flip_targets`, so any integer lands on the same named bit on
+    every backend and ``-O`` level.  Returns ``None`` for a stateless
+    module.
+    """
+    targets = flip_targets(module)
+    total = sum(width for _name, width in targets)
+    if not total:
+        return None
+    idx = index % total
+    for name, width in targets:
+        if idx < width:
+            return name, idx
+        idx -= width
+    raise AssertionError("unreachable")
 
 
 class FaultPlan:
@@ -97,17 +254,25 @@ class FaultPlan:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def parse(cls, specs: list[str], seed: Optional[int] = None) -> "FaultPlan":
-        """Build a plan from CLI specs like ``dram-delay@3:200``."""
+    def parse(
+        cls,
+        specs: list[str],
+        seed: Optional[int] = None,
+        design=None,
+    ) -> "FaultPlan":
+        """Build a plan from CLI specs like ``dram-delay@3:200``.
+
+        With *design* (an elaborated :class:`~repro.rtl.RTLModule`),
+        named ``rtl-flip`` targets are validated at parse time — an
+        unknown signal or out-of-range bit raises ``ValueError`` here
+        instead of mid-simulation.
+        """
         faults = []
         for spec in specs:
-            kind, _, rest = spec.partition("@")
-            if not rest:
-                raise ValueError(
-                    f"bad fault spec {spec!r} (want kind@trigger[:arg])"
-                )
-            trigger, _, arg = rest.partition(":")
-            faults.append(Fault(kind, int(trigger), int(arg) if arg else 0))
+            try:
+                faults.append(_parse_one(spec, design))
+            except ValueError as err:
+                raise ValueError(f"bad fault spec {spec!r}: {err}") from None
         return cls(faults, seed=seed)
 
     @classmethod
@@ -145,22 +310,26 @@ class FaultPlan:
     # -- identity ----------------------------------------------------------
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "seed": self.seed,
-                "faults": [
-                    {"kind": f.kind, "trigger": f.trigger, "arg": f.arg}
-                    for f in self.faults
-                ],
-            },
-            sort_keys=True,
-        )
+        faults = []
+        for f in self.faults:
+            doc = {"kind": f.kind, "trigger": f.trigger, "arg": f.arg}
+            if f.signal is not None:
+                # only present for named targets, so signal-less plans
+                # keep their historical schedule digests
+                doc["signal"] = f.signal
+            faults.append(doc)
+        return json.dumps({"seed": self.seed, "faults": faults},
+                          sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
         doc = json.loads(text)
         return cls(
-            [Fault(f["kind"], f["trigger"], f["arg"]) for f in doc["faults"]],
+            [
+                Fault(f["kind"], f["trigger"], f["arg"],
+                      signal=f.get("signal"))
+                for f in doc["faults"]
+            ],
             seed=doc["seed"],
         )
 
@@ -186,10 +355,15 @@ class FaultInjector(SimObject):
         sim: Simulation,
         plan: FaultPlan,
         name: str = "faultinjector",
+        absolute_cycles: bool = False,
         parent: Optional[SimObject] = None,
     ) -> None:
         super().__init__(sim, name, parent)
         self.plan = plan
+        #: campaign mode: cycle triggers are absolute clock cycles, not
+        #: offsets from attach time — a flip lands on the same tick
+        #: whether the run started from reset or from a checkpoint
+        self.absolute_cycles = absolute_cycles
         self._read_count = 0
         self._storming = False
         self._drops = {f.trigger for f in plan if f.kind == "dram-drop"}
@@ -211,13 +385,16 @@ class FaultInjector(SimObject):
             if isinstance(obj, DRAMController):
                 obj.fault_hook = self
         for fault in self.plan.sim_faults():
-            when = self.now + fault.trigger * self.clock.period
+            if self.absolute_cycles:
+                when = max(fault.trigger * self.clock.period, self.now)
+            else:
+                when = self.now + fault.trigger * self.clock.period
             if fault.kind == "retry-storm":
                 self.sched_ckpt("storm_on", fault.arg, when,
                                 EventPriority.CLOCK,
                                 name=f"{self.name}.storm_on")
             elif fault.kind == "rtl-flip":
-                self.sched_ckpt("flip", fault.arg, when,
+                self.sched_ckpt("flip", (fault.signal, fault.arg), when,
                                 EventPriority.CLOCK,
                                 name=f"{self.name}.flip")
 
@@ -284,7 +461,9 @@ class FaultInjector(SimObject):
                 xbar.fault_reject = False
                 xbar._issue_retries()
         elif kind == "flip":
-            self._flip_bit(payload)
+            if isinstance(payload, int):  # checkpoint from an older plan
+                payload = (None, payload)
+            self._flip_bit(payload[1], signal=payload[0])
         else:
             raise ValueError(f"{self.name}: unknown event kind {kind!r}")
 
@@ -298,7 +477,16 @@ class FaultInjector(SimObject):
     def _find_object(self, path: str):
         return self.sim.find(path)
 
-    def _flip_bit(self, bit: int) -> None:
+    def _flip_bit(self, bit: int, signal: Optional[str] = None) -> None:
+        """Flip one state bit of every RTL-backed model.
+
+        Named targets (``signal``) resolve through the module's signal
+        table — identical on every backend and ``-O`` level; models
+        without the named signal/memory are skipped.  Bare indices
+        resolve over the name-sorted flop space from
+        :func:`flip_targets` (modulo its total bit count), never the
+        raw state vector, for the same invariance.
+        """
         from ..bridge.rtl_object import RTLObject
 
         for obj in self.sim.objects:
@@ -307,13 +495,40 @@ class FaultInjector(SimObject):
             rtl_sim = getattr(obj.library, "sim", None)
             if rtl_sim is None:
                 continue  # behavioural model: no flop state to corrupt
-            ckpt = rtl_sim.save_checkpoint()
-            if not ckpt.values:
-                continue
-            idx = bit % len(ckpt.values)
-            ckpt.values[idx] ^= 1
-            rtl_sim.restore_checkpoint(ckpt)
-            self.st_flips.inc()
+            if self._flip_on(rtl_sim, signal, bit):
+                self.st_flips.inc()
+
+    @staticmethod
+    def _flip_on(rtl_sim, signal: Optional[str], bit: int) -> bool:
+        module = rtl_sim.module
+        if signal is None:
+            resolved = resolve_flip_index(module, bit)
+            if resolved is None:
+                return False
+            signal, bit = resolved
+        if signal.endswith("]") and "[" in signal:
+            mem_name, _, word_text = signal[:-1].partition("[")
+            mem = module.memories.get(mem_name)
+            if mem is None:
+                return False
+            word = int(word_text)
+            if not (0 <= word < mem.depth and 0 <= bit < mem.width):
+                return False
+            rtl_sim.poke_mem(mem_name, word,
+                             rtl_sim.peek_mem(mem_name, word) ^ (1 << bit))
+            # poke_mem does not invalidate cached activity-cone keys the
+            # way an internal-signal poke does; a skipped cone must not
+            # un-flip the corrupted word
+            if getattr(rtl_sim, "_invalidates", False):
+                rtl_sim._codegen.reset_state()
+            return True
+        sig = module.signals.get(signal)
+        if sig is None or not 0 <= bit < sig.width:
+            return False
+        # poke() masks the value and drops cached cone keys for
+        # internal signals, so the corruption survives the fast path
+        rtl_sim.poke(signal, rtl_sim.peek(signal) ^ (1 << bit))
+        return True
 
     # -- checkpointing -----------------------------------------------------
 

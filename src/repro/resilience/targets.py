@@ -1,0 +1,415 @@
+"""Campaign targets: self-contained systems a fault campaign can build,
+golden-run, checkpoint, and triage.
+
+A target bundles everything :mod:`repro.resilience.campaign` needs to
+treat a design uniformly: a builder for the full rig (system + traffic +
+observables), an elaborated-module accessor for fault-space enumeration,
+and per-target run budgets.  Rigs are deliberately closed systems — all
+stimulus is generated internally from the target parameters, so the same
+``(target, params)`` pair replays bit-identically in any worker process.
+
+The golden-digest contract: ``observables()`` returns the architectural
+end-state a fault must not change (committed instructions, data
+checksums, memory digests).  Micro-architectural counters that a
+*detected-and-corrected* fault may legitimately move (cache hit/miss
+counts under an ECC refetch) are excluded; detection counters are
+reported separately via ``detection()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..soc.event import Event
+from ..soc.simobject import SimObject, Simulation
+
+
+class CycleBudgetExceeded(TimeoutError):
+    """The experiment's simulated-cycle budget ran out (livelock)."""
+
+
+class WallClockExceeded(TimeoutError):
+    """The experiment's host wall-clock backstop ran out."""
+
+
+def run_on_grid(
+    sim: Simulation,
+    done: Callable[[], bool],
+    max_cycles: int,
+    wall_deadline: Optional[float] = None,
+    step_cycles: int = 2_000,
+    drain_cycles: int = 500,
+) -> int:
+    """Run *sim* until ``done()``, then a fixed drain; returns the end tick.
+
+    Step boundaries sit on absolute multiples of *step_cycles* so a run
+    restored from a checkpoint observes the same boundaries (and hence
+    the same event interleavings) as an uninterrupted one.  The cycle
+    budget is likewise absolute — counted from reset, not from restore.
+    """
+    sim.startup()
+    clock = sim.default_clock
+    step = clock.cycles_to_ticks(step_cycles)
+    end = clock.cycles_to_ticks(max_cycles)
+    while not done():
+        if sim.now >= end:
+            raise CycleBudgetExceeded(
+                f"no completion within {max_cycles} cycles"
+            )
+        if wall_deadline is not None and time.monotonic() >= wall_deadline:
+            raise WallClockExceeded("experiment wall-clock budget exhausted")
+        boundary = (sim.now // step + 1) * step
+        sim.run(until=min(boundary, end))
+    if drain_cycles:
+        sim.run(until=sim.now + clock.cycles_to_ticks(drain_cycles))
+    return sim.now
+
+
+# ---------------------------------------------------------------------------
+# Deterministic MMIO traffic for the cache targets
+# ---------------------------------------------------------------------------
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+class CacheTrafficDriver(SimObject):
+    """Issues a deterministic read/write stream through an IOMaster.
+
+    Request *i* is derived from ``sha256(seed, i)``: the address lands in
+    a small working set (so lines are revisited and fault-corrupted data
+    is actually consumed), roughly one in four requests is a write, and
+    every read response is folded into an FNV-1a checksum — the
+    architectural observable an SDC must disturb to be counted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        io,
+        n_requests: int = 48,
+        seed: int = 0,
+        gap_cycles: int = 60,
+        base_addr: int = 0x1_0000,
+        span_lines: int = 8,
+        parent: Optional[SimObject] = None,
+    ) -> None:
+        super().__init__(sim, name, parent)
+        self.io = io
+        self.n_requests = n_requests
+        self.seed = seed
+        self.gap_cycles = gap_cycles
+        self.base_addr = base_addr
+        self.span_lines = span_lines
+        self._event = Event(self._step, f"{name}.step")
+        self.issued = 0
+        self.responses = 0
+        self.checksum = _FNV_OFFSET
+        self.st_issued = self.stats.formula("issued", lambda: self.issued)
+
+    def startup(self) -> None:
+        if self.issued < self.n_requests and not self._event.scheduled:
+            self.schedule_cycles(self._event, self.gap_cycles)
+
+    @property
+    def done(self) -> bool:
+        return (self.issued >= self.n_requests
+                and self.responses >= self.n_requests)
+
+    def _request(self, i: int) -> tuple[int, Optional[bytes]]:
+        h = hashlib.sha256(f"{self.seed}:{i}".encode()).digest()
+        word = int.from_bytes(h[:4], "little") % (self.span_lines * 8)
+        addr = self.base_addr + 8 * word
+        data = h[8:16] if h[4] % 4 == 0 else None   # ~25 % writes
+        return addr, data
+
+    def _step(self) -> None:
+        if self.issued >= self.n_requests:
+            return
+        addr, data = self._request(self.issued)
+        self.issued += 1
+        if data is not None:
+            self.io.write(addr, data, callback=self._on_resp)
+        else:
+            self.io.read(addr, size=8, callback=self._on_resp)
+        if self.issued < self.n_requests:
+            self.schedule_cycles(self._event, self.gap_cycles)
+
+    def _on_resp(self, pkt) -> None:
+        self.responses += 1
+        if pkt.is_read and pkt.data:
+            c = self.checksum
+            for b in pkt.data:
+                c = ((c ^ b) * _FNV_PRIME) & _MASK64
+            self.checksum = c
+
+    # -- checkpointing ----------------------------------------------------
+    # The IOMaster vetoes saves while a callback-carrying request is in
+    # flight, so at every committed checkpoint issued == responses and
+    # no host callback needs serializing.
+
+    def ckpt_named_events(self):
+        return {"step": self._event}
+
+    def serialize(self, ctx) -> dict:
+        return {
+            "issued": self.issued,
+            "responses": self.responses,
+            "checksum": self.checksum,
+        }
+
+    def unserialize(self, state: dict, ctx) -> None:
+        self.issued = state["issued"]
+        self.responses = state["responses"]
+        self.checksum = state["checksum"]
+
+
+# ---------------------------------------------------------------------------
+# Rigs
+# ---------------------------------------------------------------------------
+
+
+class PMURig:
+    """PMU counting a sort workload's commits, misses, and cycles.
+
+    The PMU is programmed over callback-free MMIO and left passive (no
+    interrupt handlers), so the core's timing is independent of PMU
+    state and every PMU-internal upset surfaces purely through the
+    counters — the cleanest possible SDC/masked split.
+    """
+
+    def __init__(self, params: dict) -> None:
+        from ..dse.pmu_experiment import (
+            COMMIT_LANES, CYCLE_LANE, MISS_LANE, build_pmu_system,
+        )
+
+        self.soc, self.pmu, self.drv = build_pmu_system(
+            n_sort=params["n_sort"],
+            memory=params["memory"],
+            sleep_cycles=params["sleep_cycles"],
+        )
+        assert self.pmu is not None and self.drv is not None
+        self.sim = self.soc.sim
+        self.core = self.soc.cores[0]
+        self._lanes = tuple(COMMIT_LANES) + (MISS_LANE, CYCLE_LANE)
+        self.drv.enable(sum(1 << lane for lane in self._lanes))
+
+    def done(self) -> bool:
+        return self.core.done and not self.soc.iomaster.busy
+
+    def run(self, max_cycles: int,
+            wall_deadline: Optional[float] = None) -> int:
+        return run_on_grid(self.sim, self.done, max_cycles, wall_deadline)
+
+    def observables(self) -> dict:
+        rtl = self.pmu.library.sim
+        obs = {
+            "committed": int(self.core.st_committed.value()),
+            "interrupts": int(self.pmu.st_interrupts.value()),
+            "irq": int(rtl.peek("irq")),
+            "end_tick": int(self.sim.now),
+        }
+        for lane in self._lanes:
+            obs[f"counter[{lane}]"] = int(rtl.peek_mem("counters", lane))
+        return obs
+
+    def detection(self) -> dict:
+        return {}
+
+    def finish(self) -> None:
+        self.pmu.stop()
+
+
+class CacheRig:
+    """RTL cache (plain or parity-protected) under deterministic traffic.
+
+    Observables are the traffic checksum and a digest of backing memory
+    — NOT the hit/miss counters, which an ECC refetch legitimately
+    moves.  The ECC variant reports its correction counter through
+    ``detection()``, turning would-be SDCs into detected-and-corrected
+    outcomes.
+    """
+
+    BASE_ADDR = 0x1_0000
+
+    def __init__(self, params: dict) -> None:
+        from ..models.rtlcache import (
+            RTLCacheECCSharedLibrary, RTLCacheObject, RTLCacheSharedLibrary,
+        )
+        from ..soc.iomaster import IOMaster
+        from ..soc.mem import IdealMemory
+
+        sim = Simulation()
+        idxw = params["idxw"]
+        lib = (RTLCacheECCSharedLibrary(idxw=idxw) if params["ecc"]
+               else RTLCacheSharedLibrary(idxw=idxw))
+        self.rtlc = RTLCacheObject(sim, "rtlc", lib)
+        self.mem = IdealMemory(sim, "mem", latency_cycles=4)
+        self.io = IOMaster(sim, "io")
+        self.io.port.connect(self.rtlc.cpu_side[0])
+        self.rtlc.mem_side[0].connect(self.mem.port)
+        # backing-store contents must survive checkpoint/restore (the
+        # SoC registers its physmem the same way)
+        sim.register_extra("physmem", self.mem.physmem)
+
+        self._span = params["span_lines"] * 64
+        pattern = bytes((i * 37 + 11) & 0xFF for i in range(self._span))
+        self.mem.physmem.write(self.BASE_ADDR, pattern)
+        self.drv = CacheTrafficDriver(
+            sim, "traffic", self.io,
+            n_requests=params["requests"], seed=params["seed"],
+            gap_cycles=params["gap_cycles"], base_addr=self.BASE_ADDR,
+            span_lines=params["span_lines"],
+        )
+        self.sim = sim
+
+    def done(self) -> bool:
+        return self.drv.done and not self.io.busy and not self.rtlc.inflight
+
+    def run(self, max_cycles: int,
+            wall_deadline: Optional[float] = None) -> int:
+        return run_on_grid(self.sim, self.done, max_cycles, wall_deadline)
+
+    def observables(self) -> dict:
+        memory = hashlib.sha256(
+            self.mem.physmem.read(self.BASE_ADDR, self._span)
+        ).hexdigest()[:16]
+        return {
+            "checksum": int(self.drv.checksum),
+            "responses": int(self.drv.responses),
+            "memory": memory,
+        }
+
+    def detection(self) -> dict:
+        rtl = self.rtlc.library.sim
+        if "corrections" in rtl.module.signals:
+            return {"corrections": int(rtl.peek("corrections"))}
+        return {}
+
+    def finish(self) -> None:
+        self.rtlc.stop()
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignTarget:
+    """Everything the campaign engine needs to know about one design."""
+
+    name: str
+    description: str
+    defaults: dict = field(default_factory=dict)
+    build: Callable[[dict], object] = None  # type: ignore[assignment]
+    module: Callable[[dict], object] = None  # type: ignore[assignment]
+    checkpoint_every: int = 10_000     # cycles between golden checkpoints
+    max_cycles: int = 1_000_000        # per-experiment cycle budget
+
+
+def _pmu_build(params: dict) -> PMURig:
+    return PMURig(params)
+
+
+def _pmu_module(params: dict):
+    from ..models.pmu import PMUSharedLibrary
+
+    return PMUSharedLibrary(backend="interp").sim.module
+
+
+def _cache_build(params: dict) -> CacheRig:
+    return CacheRig(params)
+
+
+def _cache_module(params: dict):
+    from ..models.rtlcache import (
+        RTLCacheECCSharedLibrary, RTLCacheSharedLibrary,
+    )
+
+    cls = RTLCacheECCSharedLibrary if params["ecc"] else RTLCacheSharedLibrary
+    return cls(idxw=params["idxw"], backend="interp").sim.module
+
+
+_CACHE_DEFAULTS = {
+    "idxw": 4,
+    "requests": 48,
+    "seed": 7,
+    "gap_cycles": 60,
+    "span_lines": 8,
+}
+
+TARGETS: dict[str, CampaignTarget] = {}
+
+
+def register_target(target: CampaignTarget) -> CampaignTarget:
+    TARGETS[target.name] = target
+    return target
+
+
+register_target(CampaignTarget(
+    name="pmu",
+    description="PMU counting a sort workload (commit/miss/cycle lanes)",
+    defaults={"n_sort": 48, "memory": "DDR4-1ch", "sleep_cycles": 2_000},
+    build=_pmu_build,
+    module=_pmu_module,
+    checkpoint_every=20_000,
+    max_cycles=500_000,
+))
+
+register_target(CampaignTarget(
+    name="rtlcache",
+    description="direct-mapped write-through RTL cache under MMIO traffic",
+    defaults=dict(_CACHE_DEFAULTS, ecc=False),
+    build=_cache_build,
+    module=_cache_module,
+    checkpoint_every=1_000,
+    max_cycles=100_000,
+))
+
+register_target(CampaignTarget(
+    name="rtlcache_ecc",
+    description="parity-protected RTL cache (SDCs become detected+corrected)",
+    defaults=dict(_CACHE_DEFAULTS, ecc=True),
+    build=_cache_build,
+    module=_cache_module,
+    checkpoint_every=1_000,
+    max_cycles=100_000,
+))
+
+
+def get_target(name: str) -> CampaignTarget:
+    try:
+        return TARGETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown campaign target {name!r}; known: {sorted(TARGETS)}"
+        ) from None
+
+
+def _coerce(template, text):
+    if isinstance(template, bool):
+        if str(text).lower() in ("1", "true", "yes", "on"):
+            return True
+        if str(text).lower() in ("0", "false", "no", "off"):
+            return False
+        raise ValueError(f"expected a boolean, got {text!r}")
+    return type(template)(text)
+
+
+def normalize_params(target: CampaignTarget, overrides=None) -> dict:
+    """Canonical parameter dict: defaults + validated/coerced overrides."""
+    params = dict(target.defaults)
+    for key, value in (overrides or {}).items():
+        if key not in params:
+            raise ValueError(
+                f"unknown parameter {key!r} for target {target.name!r}; "
+                f"known: {sorted(params)}"
+            )
+        params[key] = _coerce(params[key], value)
+    return params

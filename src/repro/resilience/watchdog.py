@@ -29,7 +29,9 @@ rerunning under a debugger.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from ..soc.event import Event, EventPriority
@@ -97,6 +99,26 @@ class HangReport:
     event_head: Optional[tuple] = None
     events_fired_in_window: int = 0
     rejects_in_window: int = 0
+
+    # -- machine-readable round-trip ---------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical JSON encoding (campaign results, serve event logs)."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "HangReport":
+        data = json.loads(text)
+        data["cores"] = [CoreProgress(**c) for c in data["cores"]]
+        packets = []
+        for entry in data["stalled_packets"]:
+            if entry.get("hops"):
+                entry["hops"] = [tuple(hop) for hop in entry["hops"]]
+            packets.append(StalledPacket(**entry))
+        data["stalled_packets"] = packets
+        if data["event_head"] is not None:
+            data["event_head"] = tuple(data["event_head"])
+        return cls(**data)
 
     def format(self) -> str:
         lines = [

@@ -58,6 +58,10 @@ class JobKind:
     assemble: Callable[[dict, list], Any]
     #: wall-clock measurements must never be cached (see ResultCache)
     cacheable: bool = True
+    #: optional ``(params, point, result) -> dict | None``; when set,
+    #: the scheduler streams one ``triage`` event per resolved point
+    #: (cache hits included) over the job's NDJSON event log
+    point_event: Optional[Callable[[dict, Any, Any], Optional[dict]]] = None
 
 
 _KINDS: dict[str, JobKind] = {}
@@ -175,4 +179,87 @@ register_kind(JobKind(
     worker=pmu_fig5_point,
     point_fields=_pmu_fig5_point_fields,
     assemble=_pmu_fig5_assemble,
+))
+
+
+# ---------------------------------------------------------------------------
+# campaign: fault-injection campaigns as a service job
+# ---------------------------------------------------------------------------
+
+
+def _campaign_normalize(params: dict) -> dict:
+    from ..resilience.campaign import campaign_config
+
+    known = {"target", "params", "budget", "seed", "checkpoint_every",
+             "max_cycles", "watchdog_interval", "wall_timeout"}
+    extra = set(params) - known
+    if extra:
+        raise ValueError(f"campaign: unknown params {sorted(extra)}")
+    if "target" not in params:
+        raise ValueError("campaign: 'target' is required")
+    return campaign_config(
+        str(params["target"]),
+        params=params.get("params"),
+        budget=params.get("budget", 32),
+        seed=params.get("seed", 0),
+        checkpoint_every=params.get("checkpoint_every"),
+        max_cycles=params.get("max_cycles"),
+        watchdog_interval=params.get("watchdog_interval", 2_000),
+        wall_timeout=params.get("wall_timeout", 600.0),
+    )
+
+
+def _campaign_points(cfg: dict) -> list:
+    # runs (or waits on) the golden execution for this configuration —
+    # submission of a cold campaign pays the golden run up front
+    from ..resilience.campaign import campaign_points
+
+    return campaign_points(cfg)
+
+
+def campaign_point(point) -> dict:
+    """Worker: one fault-injection experiment, triaged."""
+    from ..resilience.campaign import run_experiment
+
+    return run_experiment(point)
+
+
+def _campaign_point_fields(cfg: dict, point) -> dict:
+    # keys on "campaign_point" (not "serve_point"), so serve-submitted
+    # campaigns share cache entries with `repro campaign` CLI runs
+    from ..resilience.campaign import campaign_point_fields
+
+    return campaign_point_fields(cfg, point)
+
+
+def _campaign_assemble(cfg: dict, results: list) -> dict:
+    from ..resilience.campaign import (
+        campaign_root, ensure_golden, vulnerability_report,
+    )
+    from ..resilience.targets import get_target
+
+    target = get_target(cfg["target"])
+    root = campaign_root(target, cfg["params"],
+                         cfg["checkpoint_every"], cfg["max_cycles"])
+    golden = ensure_golden(root, target, cfg["params"],
+                           cfg["checkpoint_every"], cfg["max_cycles"])
+    return vulnerability_report(cfg, golden, results)
+
+
+def _campaign_event(cfg: dict, point, result) -> Optional[dict]:
+    from ..resilience.campaign import triage_event
+
+    if not isinstance(result, dict):
+        return None
+    return triage_event(point, result)
+
+
+register_kind(JobKind(
+    name="campaign",
+    normalize=_campaign_normalize,
+    build_points=_campaign_points,
+    worker=campaign_point,
+    point_fields=_campaign_point_fields,
+    assemble=_campaign_assemble,
+    point_event=_campaign_event,
 ))

@@ -482,6 +482,7 @@ class Scheduler:
             shard = job.shards[shard_index]
             # per-point dedup through the shared cache first
             todo: list[int] = []
+            fresh: set[int] = set()   # resolved this shard (hit or executed)
             for idx in shard:
                 if job.point_results[idx] is not None:
                     continue
@@ -491,6 +492,7 @@ class Scheduler:
                     if hit is not None:
                         job.point_results[idx] = hit
                         job.cache_hits += 1
+                        fresh.add(idx)
                         continue
                 todo.append(idx)
             if todo:
@@ -517,6 +519,7 @@ class Scheduler:
                     job.point_results[idx] = value
                     job.executed_points += 1
                     self.executed_points += 1
+                    fresh.add(idx)
                     key = self._point_key(job, idx)
                     if key is not None:
                         self.cache.put(key, value,
@@ -535,6 +538,17 @@ class Scheduler:
                     # are dead weight now (and must not leak onto a
                     # future shard's point numbering)
                     shutil.rmtree(ckpt_dir, ignore_errors=True)
+            if job.kind.point_event is not None:
+                # stream per-point triage in index order, cache hits
+                # and fresh executions alike, before the progress event
+                for idx in shard:
+                    if idx not in fresh:
+                        continue
+                    event = job.kind.point_event(
+                        job.params, job.points[idx], job.point_results[idx]
+                    )
+                    if event:
+                        job.emit("triage", point_index=idx, **event)
             job.shard_cursor += 1
             job.emit(
                 "progress",

@@ -1,16 +1,17 @@
 """Registry of bundled RTL designs the verify CLI operates on.
 
 ``repro verify {lint,cover,fuzz,equiv}`` needs concrete designs; the
-repo bundles three that between them cover both frontends and every
+repo bundles a set that between them cover both frontends and every
 interesting structural shape:
 
-========== ======== =============================================
-name       frontend shape
-========== ======== =============================================
-pmu        verilog  memories, address-mapped regs, single always
-bitonic    vhdl     deep comb instance tree + registered stages
-rtlcache   verilog  wide datapaths, miss FSM-ish busy flag
-========== ======== =============================================
+============= ======== =============================================
+name          frontend shape
+============= ======== =============================================
+pmu           verilog  memories, address-mapped regs, single always
+bitonic       vhdl     deep comb instance tree + registered stages
+rtlcache      verilog  wide datapaths, miss FSM-ish busy flag
+rtlcache_ecc  verilog  rtlcache + per-word parity and refetch path
+============= ======== =============================================
 """
 
 from __future__ import annotations
@@ -21,7 +22,10 @@ from typing import Callable, Optional
 from ..hdl.common import CoverageOptions, ElabOptions
 from ..models.bitonic.wrapper import load_bitonic_source
 from ..models.pmu.wrapper import load_pmu_source
-from ..models.rtlcache.wrapper import load_rtl_cache_source
+from ..models.rtlcache.wrapper import (
+    load_rtl_cache_ecc_source,
+    load_rtl_cache_source,
+)
 from ..rtl.simulator import RTLSimulator
 
 
@@ -98,6 +102,10 @@ DESIGNS: dict[str, Design] = {
                "src/repro/models/bitonic/bitonic.vhdl", params={"W": 16}),
         Design("rtlcache", "verilog", "rtl_cache", load_rtl_cache_source,
                "src/repro/models/rtlcache/rtl_cache.v",
+               params={"IDXW": 4}),
+        Design("rtlcache_ecc", "verilog", "rtl_cache_ecc",
+               load_rtl_cache_ecc_source,
+               "src/repro/models/rtlcache/rtl_cache_ecc.v",
                params={"IDXW": 4}),
     )
 }

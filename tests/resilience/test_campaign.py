@@ -1,0 +1,238 @@
+"""Fault-injection campaigns: sampling, triage, determinism, reports.
+
+The heavyweight claims (byte-identical reports across worker counts,
+cached resume executing zero points, ECC strictly lowering the SDC
+rate) all run on the ``rtlcache`` target — its golden run is a few
+thousand cycles, so a whole campaign costs well under a second.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.parallel import ResultCache, RunStats
+from repro.resilience import HangReport
+from repro.resilience.campaign import (
+    OUTCOMES,
+    campaign_config,
+    campaign_point_fields,
+    campaign_points,
+    render_report,
+    run_campaign,
+    run_experiment,
+    sample_faults,
+    wilson_interval,
+)
+from repro.resilience.targets import get_target, normalize_params
+
+BUDGET = 24
+SEED = 3
+
+
+@pytest.fixture
+def camp_env(tmp_path, monkeypatch):
+    """Isolate the campaign root (golden + checkpoints) per test."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path / "camp"))
+    return tmp_path
+
+
+def _campaign(tmp_path, target="rtlcache", budget=BUDGET, seed=SEED,
+              jobs=1, cache_dir="cache", **kw):
+    cache = ResultCache(root=tmp_path / cache_dir)
+    return run_campaign(target, budget=budget, seed=seed, jobs=jobs,
+                        cache=cache, **kw)
+
+
+class TestSampling:
+    def _module(self, name="rtlcache"):
+        target = get_target(name)
+        return target, target.module(normalize_params(target))
+
+    def test_seed_deterministic(self):
+        _, module = self._module()
+        a = sample_faults(module, 16, seed=5, max_cycle=1000)
+        b = sample_faults(module, 16, seed=5, max_cycle=1000)
+        c = sample_faults(module, 16, seed=6, max_cycle=1000)
+        assert a == b
+        assert a != c
+
+    def test_stratified_round_robin_and_in_range(self):
+        from repro.resilience import flip_targets
+
+        _, module = self._module()
+        targets = flip_targets(module, include_memories=True)
+        names = [name for name, _w in targets]
+        widths = dict(targets)
+        faults = sample_faults(module, len(names) + 3, seed=0,
+                               max_cycle=500)
+        # one pass over every target before any repeats, in table order
+        assert [f[0] for f in faults[:len(names)]] == names
+        assert [f[0] for f in faults[len(names):]] == names[:3]
+        for signal, bit, cycle in faults:
+            assert 0 <= bit < widths[signal]
+            assert 1 <= cycle < 500
+
+    def test_params_validation(self):
+        target = get_target("rtlcache")
+        with pytest.raises(ValueError, match="unknown parameter"):
+            normalize_params(target, {"bogus": 1})
+        params = normalize_params(target, {"idxw": "5", "ecc": "true"})
+        assert params["idxw"] == 5 and params["ecc"] is True
+        with pytest.raises(ValueError, match="unknown campaign target"):
+            get_target("nope")
+
+
+class TestWilson:
+    def test_bounds_and_extremes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0 and 0.0 < high < 0.2
+        low, high = wilson_interval(20, 20)
+        assert 0.8 < low < 1.0 and high == 1.0
+        low, high = wilson_interval(5, 10)
+        assert low < 0.5 < high
+        # symmetric case: CI centred on p = 0.5
+        assert abs((low + high) / 2 - 0.5) < 1e-9
+
+    def test_empty_sample(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_n(self):
+        narrow = wilson_interval(50, 100)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+
+class TestTriage:
+    def test_outcome_taxonomy_is_fixed(self):
+        assert OUTCOMES == ("masked", "sdc", "detected_corrected",
+                            "detected_hang", "crash", "infra")
+
+    def test_unknown_signal_flip_is_skipped_hence_masked(self, camp_env):
+        # _flip_on skips models without the named signal (multi-object
+        # sims), so a dangling name degrades to a no-flip masked run,
+        # never a crash or a miscounted infra failure
+        cfg = campaign_config("rtlcache", budget=1, seed=0)
+        point = list(campaign_points(cfg)[0])
+        point[2], point[3] = "no_such_signal", 0
+        result = run_experiment(tuple(point))
+        assert result["outcome"] == "masked"
+
+    def test_infra_failures_retried_then_reported_not_cached(
+            self, camp_env, monkeypatch):
+        import repro.resilience.campaign as campaign_mod
+
+        real = campaign_mod.run_experiment
+        attempts = []
+
+        def flaky(point):
+            if point[2] == "busy":        # first target in table order
+                attempts.append(point[2])
+                raise RuntimeError("synthetic worker loss")
+            return real(point)
+
+        monkeypatch.setattr(campaign_mod, "run_experiment", flaky)
+        cache = ResultCache(root=camp_env / "cache")
+        report = run_campaign("rtlcache", budget=6, seed=1, jobs=1,
+                              cache=cache, infra_attempts=2,
+                              infra_backoff=0.01)
+        assert len(attempts) == 2         # bounded backoff, then give up
+        assert report["histogram"]["infra"] == 1
+        infra = [e for e in report["experiments"]
+                 if e["outcome"] == "infra"]
+        assert len(infra) == 1 and infra[0]["signal"] == "busy"
+        assert "synthetic worker loss" in infra[0]["error"]
+        # infra results were never cached and AVF excludes them
+        assert report["valid_samples"] == 5
+        monkeypatch.setattr(campaign_mod, "run_experiment", real)
+        stats = RunStats()
+        healed = run_campaign("rtlcache", budget=6, seed=1, jobs=1,
+                              cache=cache, stats=stats)
+        assert stats.completed == 1       # only the infra point re-ran
+        assert healed["histogram"]["infra"] == 0
+
+
+class TestCampaign:
+    def test_report_is_deterministic_across_jobs(self, camp_env):
+        serial = _campaign(camp_env, jobs=1, cache_dir="cache-a")
+        fanned = _campaign(camp_env, jobs=2, cache_dir="cache-b")
+        assert render_report(serial) == render_report(fanned)
+
+    def test_rtlcache_triage_mix(self, camp_env):
+        report = _campaign(camp_env)
+        hist = report["histogram"]
+        assert sum(hist.values()) == BUDGET
+        assert hist["infra"] == 0
+        assert hist["masked"] > 0
+        assert hist["sdc"] >= 1          # a data-store flip escapes
+        assert hist["detected_hang"] >= 1  # a busy flip wedges the FSM
+        assert report["avf"] is not None
+        lo, hi = report["avf_ci95"]
+        assert 0.0 <= lo <= report["avf"] <= hi <= 1.0
+        # per-signal entries exclude nothing and aggregate memory words
+        assert sum(e["samples"] for e in report["signals"].values()) \
+            == BUDGET
+        assert "data" in report["signals"]  # counters[3]-style grouping
+
+    def test_hang_report_round_trips(self, camp_env):
+        report = _campaign(camp_env)
+        hangs = [e for e in report["experiments"]
+                 if e["outcome"] == "detected_hang" and "hang" in e]
+        assert hangs, "expected at least one watchdog-detected hang"
+        clone = HangReport.from_json(json.dumps(hangs[0]["hang"]))
+        assert clone.kind == hangs[0]["hang_kind"]
+        assert clone.format()  # renders without error
+
+    def test_resume_executes_nothing(self, camp_env):
+        first_stats = RunStats()
+        first = _campaign(camp_env, stats=first_stats)
+        assert first_stats.completed == BUDGET
+        second_stats = RunStats()
+        second = _campaign(camp_env, stats=second_stats)
+        # every point resolved from the cache: run_points never ran
+        assert second_stats.completed == 0
+        assert render_report(first) == render_report(second)
+
+    def test_cache_key_excludes_host_local_fields(self, camp_env):
+        cfg = campaign_config("rtlcache", budget=2, seed=0)
+        point = campaign_points(cfg)[0]
+        fields = campaign_point_fields(cfg, point)
+        text = json.dumps(fields)
+        assert point[5] not in text          # campaign root path
+        assert "wall_timeout" not in text
+        assert fields["experiment"] == "campaign_point"
+
+    def test_ecc_strictly_lowers_sdc_rate(self, camp_env):
+        plain = _campaign(camp_env, target="rtlcache",
+                          cache_dir="cache-plain")
+        ecc = _campaign(camp_env, target="rtlcache_ecc",
+                        cache_dir="cache-ecc")
+        assert ecc["histogram"]["sdc"] < plain["histogram"]["sdc"]
+        assert ecc["histogram"]["detected_corrected"] >= 1
+        golden_det = ecc["golden"]["detection"]
+        assert "corrections" in golden_det
+
+
+class TestGolden:
+    def test_golden_reused_across_campaigns(self, camp_env):
+        cfg = campaign_config("rtlcache", budget=4, seed=0)
+        points_a = campaign_points(cfg)
+        root = points_a[0][5]
+        golden_path = os.path.join(root, "golden.json")
+        before = os.stat(golden_path).st_mtime_ns
+        points_b = campaign_points(cfg)
+        assert os.stat(golden_path).st_mtime_ns == before
+        assert points_a == points_b
+
+    def test_golden_records_checkpoint_ladder(self, camp_env):
+        cfg = campaign_config("rtlcache", budget=1, seed=0)
+        root = campaign_points(cfg)[0][5]
+        with open(os.path.join(root, "golden.json"),
+                  encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert golden["checkpoints"], "golden run saved no checkpoints"
+        for path, tick in golden["checkpoints"]:
+            assert os.path.exists(path)
+            assert tick > 0

@@ -154,6 +154,56 @@ class TestRtlFlip:
         pmu.stop()
 
 
+class TestNamedFlipSpecs:
+    """Named ``rtl-flip`` targets: parse, validate, round-trip, digest."""
+
+    def _module(self):
+        from repro.resilience.targets import get_target, normalize_params
+
+        target = get_target("rtlcache")
+        return target.module(normalize_params(target))
+
+    def test_named_spec_round_trips_through_json(self):
+        plan = FaultPlan.parse(
+            ["rtl-flip@100:busy.0", "rtl-flip@200:data[3].17"], seed=9
+        )
+        assert [f.spec() for f in plan] == \
+            ["rtl-flip@100:busy.0", "rtl-flip@200:data[3].17"]
+        clone = FaultPlan.from_json(plan.to_json())
+        assert [f.signal for f in clone] == ["busy", "data[3]"]
+        assert [f.arg for f in clone] == [0, 17]
+        assert clone.schedule_digest() == plan.schedule_digest()
+
+    def test_digest_distinguishes_signals(self):
+        a = FaultPlan.parse(["rtl-flip@100:busy.0"])
+        b = FaultPlan.parse(["rtl-flip@100:hits.0"])
+        c = FaultPlan.parse(["rtl-flip@100:busy.0"])
+        assert a.schedule_digest() == c.schedule_digest()
+        assert a.schedule_digest() != b.schedule_digest()
+
+    def test_parse_time_validation_against_design(self):
+        module = self._module()
+        # valid named targets parse cleanly
+        FaultPlan.parse(["rtl-flip@5:busy.0", "rtl-flip@5:data[0].63"],
+                        design=module)
+        with pytest.raises(ValueError, match="unknown signal"):
+            FaultPlan.parse(["rtl-flip@5:nosuch.0"], design=module)
+        with pytest.raises(ValueError, match="out of range"):
+            FaultPlan.parse(["rtl-flip@5:busy.1"], design=module)
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FaultPlan.parse(["rtl-flip@5:data[9999].0"], design=module)
+
+    def test_malformed_named_target_rejected_without_design(self):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FaultPlan.parse(["rtl-flip@5:busy["])
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FaultPlan.parse(["rtl-flip@5:busy.x"])
+
+    def test_only_rtl_flip_takes_a_signal(self):
+        with pytest.raises(ValueError, match="only rtl-flip"):
+            Fault("dram-drop", 5, 0, signal="busy")
+
+
 class TestWorkerFaults:
     """Worker faults run in a subprocess: ``worker-kill`` hard-exits."""
 

@@ -104,3 +104,53 @@ class TestConfig:
     def test_timeout_error_subclass(self):
         """run_until_done callers catching TimeoutError also see hangs."""
         assert issubclass(SimulationHang, TimeoutError)
+
+
+class TestHangReportJson:
+    """Machine-readable round-trip (campaign results, serve event logs)."""
+
+    def _report(self):
+        from repro.resilience.watchdog import (
+            CoreProgress, HangReport, StalledPacket,
+        )
+
+        return HangReport(
+            tick=123_456,
+            kind="deadlock",
+            reason="no events fired in window",
+            strikes=3,
+            check_interval_ticks=50_000,
+            cores=[CoreProgress(name="cpu0", done=False, committed=42,
+                                committed_delta=0)],
+            stalled_packets=[StalledPacket(
+                pkt_id=7, cmd="read", addr=0x1040, where="l2",
+                age_ticks=200_000, requestor="cpu0",
+                hops=[("bridge", 100), ("l2", 150)],
+            )],
+            mshr_counts={"l2": 2},
+            rtl=[{"name": "rtlc", "inflight": 1, "mem_resps": 0,
+                  "ticks": 9}],
+            dram=[{"name": "dram0", "reads_queued": 1,
+                   "writes_queued": 0, "retries_pending": 0}],
+            event_head=(123_400, "watchdog"),
+            events_fired_in_window=0,
+            rejects_in_window=5,
+        )
+
+    def test_round_trip_format_is_byte_identical(self):
+        from repro.resilience.watchdog import HangReport
+
+        report = self._report()
+        clone = HangReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.format() == report.format()
+        assert clone.to_json() == report.to_json()
+
+    def test_round_trip_minimal_report(self):
+        from repro.resilience.watchdog import HangReport
+
+        report = HangReport(tick=1, kind="livelock", reason="spin",
+                            strikes=2, check_interval_ticks=10)
+        clone = HangReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.format() == report.format()

@@ -146,3 +146,68 @@ class TestTracingOptions:
         assert rc == 0
         doc = json.loads(path.read_text())
         assert doc["traceEvents"]
+
+
+class TestInjectErrors:
+    """Malformed --inject specs die with a one-line diagnostic, exit 2."""
+
+    def test_malformed_spec_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig5", "--inject", "rtl-flip@20000:nosignal["])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1          # exactly one line
+        assert "bad fault spec" in err
+        assert "nosignal[" in err            # names the offending spec
+
+    def test_unknown_kind_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["table2", "--inject", "no-such-kind@5"])
+        assert exc.value.code == 2
+        assert "no-such-kind" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_parser_registered(self):
+        args = build_parser().parse_args(
+            ["campaign", "rtlcache", "--budget", "8", "--seed", "2",
+             "--jobs", "2", "--param", "idxw=5", "--no-cache"]
+        )
+        assert args.command == "campaign"
+        assert args.target == "rtlcache" and args.budget == 8
+        assert args.param == ["idxw=5"] and args.no_cache
+
+    def test_list_targets(self, capsys):
+        assert main(["campaign", "--list-targets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pmu", "rtlcache", "rtlcache_ecc"):
+            assert name in out
+
+    def test_missing_target_exits_2(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "TARGET is required" in capsys.readouterr().err
+
+    def test_unknown_target_exits_2(self, capsys):
+        assert main(["campaign", "bogus"]) == 2
+        assert "unknown campaign target" in capsys.readouterr().err
+
+    def test_bad_param_exits_2(self, capsys):
+        assert main(["campaign", "rtlcache", "--param", "nope=1"]) == 2
+        assert "unknown parameter" in capsys.readouterr().err
+        assert main(["campaign", "rtlcache", "--param", "broken"]) == 2
+        assert "expected NAME=VALUE" in capsys.readouterr().err
+
+    def test_end_to_end_report(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_CAMPAIGN_DIR", str(tmp_path / "camp"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        report = tmp_path / "report.json"
+        rc = main(["campaign", "rtlcache", "--budget", "6", "--seed", "1",
+                   "--report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "outcomes:" in out and "AVF:" in out
+        doc = json.loads(report.read_text())
+        assert doc["campaign"]["target"] == "rtlcache"
+        assert sum(doc["histogram"].values()) == 6
