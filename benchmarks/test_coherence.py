@@ -1,0 +1,100 @@
+"""BENCH_coherence — per-core MPKI and snoop traffic vs sharer count.
+
+False-sharing ping-pong on the coherent SoC at 1/2/4 sharers.  Each
+core's working set is constant, yet per-core MPKI rises with the number
+of sharers because every store invalidates the other cores' copies —
+the classic coherence signature; directory snoop traffic grows with it.
+
+The single-sharer point doubles as the cost gate for the coherence
+machinery itself: with nobody to share with, the coherent path must
+stay within 1.10x wall-clock of the plain (non-coherent) single-core
+configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import FAST, write_artifact
+
+from repro.soc.system import SoC, SoCConfig
+from repro.workloads import sharing_benchmark
+
+ITERS = 300 if FAST else 1_000
+SHARERS = (1, 2, 4)
+TIMING_REPEATS = 3  # wall-clock gate uses best-of-N
+
+
+def _run_sharing(cores: int, coherent: bool) -> tuple[dict, float]:
+    """One full build+run; returns (stats dump, wall seconds)."""
+    t0 = time.perf_counter()
+    soc = SoC(SoCConfig(num_cores=cores, memory="DDR4-1ch",
+                        coherent=coherent))
+    for core, stream in zip(soc.cores, sharing_benchmark(cores,
+                                                         iters=ITERS)):
+        core.run_stream(stream)
+    soc.run_until_done()
+    return soc.sim.stats_dump(), time.perf_counter() - t0
+
+
+def _point(cores: int) -> dict:
+    stats, seconds = _run_sharing(cores, coherent=True)
+    per_core = []
+    for c in range(cores):
+        committed = stats[f"system.cpu{c}.committed"]
+        misses = stats[f"system.cpu{c}.l1d.misses"]
+        per_core.append({
+            "core": c,
+            "committed": committed,
+            "l1d_misses": misses,
+            "mpki": round(1000.0 * misses / max(committed, 1), 3),
+            "invalidations": stats[f"system.cpu{c}.l1d.invalidations"],
+        })
+    return {
+        "sharers": cores,
+        "seconds": round(seconds, 4),
+        "per_core": per_core,
+        "mean_mpki": round(sum(p["mpki"] for p in per_core) / cores, 3),
+        "dir_snoops": stats["system.l2dir.snoops_sent"],
+        "dir_interventions": stats["system.l2dir.interventions"],
+    }
+
+
+def _best_seconds(cores: int, coherent: bool) -> float:
+    return min(_run_sharing(cores, coherent)[1]
+               for _ in range(TIMING_REPEATS))
+
+
+def test_bench_coherence(benchmark, artifact):
+    points = benchmark.pedantic(
+        lambda: [_point(n) for n in SHARERS], rounds=1, iterations=1,
+    )
+    coh = _best_seconds(1, coherent=True)
+    plain = _best_seconds(1, coherent=False)
+    ratio = coh / plain
+    doc = {
+        "iters": ITERS,
+        "fast": FAST,
+        "points": points,
+        "single_core_gate": {
+            "coherent_seconds": round(coh, 4),
+            "plain_seconds": round(plain, 4),
+            "ratio": round(ratio, 3),
+            "limit": 1.10,
+        },
+    }
+    artifact("BENCH_coherence.json", json.dumps(doc, indent=2,
+                                                sort_keys=True))
+
+    by_sharers = {p["sharers"]: p for p in points}
+    # coherence signature: constant per-core working set, rising MPKI
+    assert by_sharers[2]["mean_mpki"] > by_sharers[1]["mean_mpki"]
+    # snoop traffic appears with sharing and grows with the sharer count
+    assert by_sharers[1]["dir_snoops"] == 0
+    assert (by_sharers[4]["dir_snoops"] > by_sharers[2]["dir_snoops"] > 0)
+    # the machinery itself is (near) free for a single core
+    assert ratio <= 1.10, (
+        f"coherent single-core path is {ratio:.2f}x the plain path "
+        f"(limit 1.10x)"
+    )

@@ -85,6 +85,7 @@ class RTLObject(SimObject):
                 f"{name}.mem_side{i}",
                 recv_timing_resp=self._recv_mem_resp,
                 recv_req_retry=self._make_mem_retry(i),
+                recv_snoop=self.recv_snoop_mem,
             )
             for i in range(MEM_SIDE_PORTS)
         ]
@@ -381,6 +382,20 @@ class RTLObject(SimObject):
                     return
 
         return handler
+
+    def recv_snoop_mem(self, pkt: Packet) -> None:
+        """Express coherence probe arriving on a mem-side port.
+
+        Base RTLObjects are not coherence participants; subclasses that
+        join a :class:`~repro.soc.interconnect.CoherentXbar` (e.g. the
+        coherent RTL cache bridge) override this with their snoop
+        translation.  Reaching it otherwise means a non-participant was
+        wired to a coherent crossbar.
+        """
+        raise RuntimeError(
+            f"{self.name}: received coherence snoop {pkt!r} but this "
+            "RTLObject is not a coherence participant"
+        )
 
     def _recv_mem_resp(self, pkt: Packet) -> bool:
         pkt.resp_tick = self.now

@@ -9,7 +9,8 @@ Commands
 ``dse``       one NVDLA design-space-exploration subfigure (Figs. 6/7)
 ``table3``    full-system vs standalone overheads (paper Table 3)
 ``verify``    RTL verification: ``lint`` / ``cover`` / ``fuzz`` /
-              ``equiv`` over the bundled designs (repro.verify)
+              ``equiv`` over the bundled designs, plus ``coherence``
+              (MESI invariants under random sharing; repro.verify)
 ``campaign``  fault-injection campaign: golden run, triaged experiments,
               per-signal vulnerability report (repro.resilience.campaign)
 ``serve``     run the simulation-as-a-service job server (repro.serve)
@@ -552,6 +553,50 @@ def cmd_verify_equiv(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_verify_coherence(args: argparse.Namespace) -> int:
+    """MESI invariants under seeded random sharing, serial vs pooled."""
+    from .coherence import ProtocolError, run_sharing_stress
+
+    sharers = [int(s) for s in args.sharers.split(",") if s.strip()]
+    if not sharers:
+        raise SystemExit("--sharers needs at least one count")
+    status = 0
+    serial: dict[int, dict] = {}
+    for n in sharers:
+        try:
+            result = run_sharing_stress(
+                cores=n, ops=args.ops, seed=args.seed, rtl=args.rtl,
+                rtl_jobs=args.rtl_jobs,
+            )
+        except (ProtocolError, TimeoutError) as err:
+            print(f"sharers={n}: FAIL: {err}")
+            status = 1
+            continue
+        serial[n] = result
+        cycles = result["ticks"] // 500
+        print(f"sharers={n}: invariants ok over {args.ops} ops/driver "
+              f"({cycles} cycles), memory {result['memory']}")
+    if args.jobs > 1 and serial:
+        from .dse.sweep import run_coherence_sweep
+
+        pooled = run_coherence_sweep(
+            sharers=tuple(serial), ops=args.ops, seed=args.seed,
+            rtl=args.rtl, jobs=args.jobs, keep_going=True,
+        )
+        for n, want in serial.items():
+            got = pooled.get(n)
+            if got is not None:
+                got = {k: v for k, v in got.items() if k != "seconds"}
+            if got != want:
+                print(f"sharers={n}: FAIL: pooled run is not bit-identical "
+                      "to the serial run")
+                status = 1
+            else:
+                print(f"sharers={n}: pooled ({args.jobs} workers) "
+                      "bit-identical to serial")
+    return status
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
@@ -896,6 +941,26 @@ def build_parser() -> argparse.ArgumentParser:
                          "instead of the fused codegen kernel")
     add_opt_level(vp)
     vp.set_defaults(fn=cmd_verify_equiv)
+
+    vp = vsub.add_parser(
+        "coherence",
+        help="MESI protocol invariants under seeded random sharing",
+    )
+    vp.add_argument("--sharers", default="2,4", metavar="LIST",
+                    help="comma-separated sharer counts (default 2,4)")
+    vp.add_argument("--ops", type=int, default=400,
+                    help="random sharing ops per driver")
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--rtl", action="store_true",
+                    help="include the RTL cache as an extra coherence "
+                         "participant (lockstep-checked)")
+    vp.add_argument("--rtl-jobs", type=int, default=1, metavar="N",
+                    help="run the RTL participant through the pooled "
+                         "same-timestamp tick engine")
+    vp.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="also fan the sweep over N pool workers and "
+                         "require bit-identical results")
+    vp.set_defaults(fn=cmd_verify_coherence)
 
     p = sub.add_parser(
         "serve",

@@ -1,0 +1,111 @@
+"""The MESI protocol engine: an explicit state table with validation.
+
+The table is data, not code — every legal ``(state, event)`` pair is a
+key in :data:`TRANSITIONS` and everything else raises
+:class:`ProtocolError`.  Components never mutate a line's state
+directly; they ask :func:`next_state`, so an illegal transition anywhere
+in the system (a directory that snoops a non-sharer, an L1 that writes
+in S without upgrading, a stale grant) fails loudly at the exact point
+the protocol was violated instead of corrupting memory silently.
+
+The protocol is the classic four-state invalidation MESI:
+
+========== ===================================================
+state      meaning
+========== ===================================================
+MODIFIED   only copy, dirty — memory is stale
+EXCLUSIVE  only copy, clean — silent upgrade to M on write
+SHARED     one of possibly many clean copies
+INVALID    not present
+========== ===================================================
+
+Events are named from the cache's point of view.  ``snoop_share`` is a
+remote read (dirty owners intervene: forward data, drop to S);
+``snoop_invalidate`` is a remote write or write-through (dirty owners
+forward data on the way out).  The directory serializes every event, so
+the table needs no transient states: a cache observes each event
+against a stable local state.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ProtocolError(RuntimeError):
+    """A coherence transition the MESI state table does not allow."""
+
+
+class State(enum.Enum):
+    """MESI stable states (string-valued so checkpoints stay JSON)."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    def __str__(self) -> str:  # compact in ProtocolError messages
+        return self.value
+
+
+M = State.MODIFIED
+E = State.EXCLUSIVE
+S = State.SHARED
+I = State.INVALID  # noqa: E741 - the canonical MESI letter
+
+#: every event a cache line can observe
+EVENTS = (
+    "read_hit",          # local load, line present
+    "write_hit",         # local store, line writable (M stays, E upgrades)
+    "fill_shared",       # directory grant: install in S
+    "fill_exclusive",    # directory grant: install in E (no other sharer)
+    "fill_modified",     # directory grant: install in M (write miss)
+    "upgrade",           # directory grant: S line becomes M in place
+    "evict",             # capacity victim leaves the cache
+    "snoop_share",       # remote read: keep a clean copy
+    "snoop_invalidate",  # remote write: drop the copy
+)
+
+#: the MESI state table — ``(state, event) -> next state``; any pair
+#: missing from this dict is a protocol violation.
+TRANSITIONS: dict[tuple[State, str], State] = {
+    (M, "read_hit"): M,
+    (E, "read_hit"): E,
+    (S, "read_hit"): S,
+    (M, "write_hit"): M,
+    (E, "write_hit"): M,      # silent upgrade: still the only copy
+    (I, "fill_shared"): S,
+    (I, "fill_exclusive"): E,
+    (I, "fill_modified"): M,
+    (S, "upgrade"): M,
+    (M, "evict"): I,          # must write back
+    (E, "evict"): I,
+    (S, "evict"): I,
+    (M, "snoop_share"): S,    # intervention: forward dirty data
+    (E, "snoop_share"): S,
+    (S, "snoop_share"): S,
+    (M, "snoop_invalidate"): I,   # forward dirty data on the way out
+    (E, "snoop_invalidate"): I,
+    (S, "snoop_invalidate"): I,
+}
+
+
+def next_state(state: State, event: str, *, cache: str = "?",
+               block: int | None = None) -> State:
+    """The successor state, or :class:`ProtocolError` with context.
+
+    Notably illegal and worth spelling out: ``write_hit`` in S (stores
+    must upgrade through the directory first), any snoop against I (the
+    directory believed a copy existed that the cache does not hold) and
+    any fill over a live line (grants only land on misses).
+    """
+    if event not in EVENTS:
+        raise ProtocolError(f"unknown coherence event {event!r}")
+    try:
+        return TRANSITIONS[(state, event)]
+    except KeyError:
+        where = f" for block {block:#x}" if block is not None else ""
+        raise ProtocolError(
+            f"illegal MESI transition in {cache}{where}: "
+            f"event {event!r} in state {state}"
+        ) from None

@@ -195,6 +195,85 @@ def run_dse(
 
 
 # ---------------------------------------------------------------------------
+# Coherence axis: sharer-count sweeps of the MESI sharing stress
+# ---------------------------------------------------------------------------
+
+#: default sharer counts for the coherence axis
+SHARERS_SWEEP = (1, 2, 4)
+
+
+def _coherence_point(point: tuple) -> dict:
+    """Worker: one sharing-stress point -> its full result dict.
+
+    Module-level so it pickles into pool workers.  The embedded stats
+    dump is deterministic, so serial and pooled sweeps merge
+    bit-identically (and cache safely)."""
+    from ..coherence import run_sharing_stress
+
+    sharers, ops, seed, rtl = point
+    t0 = time.perf_counter()
+    result = run_sharing_stress(cores=int(sharers), ops=int(ops),
+                                seed=int(seed), rtl=bool(rtl))
+    result["seconds"] = time.perf_counter() - t0
+    return result
+
+
+def run_coherence_sweep(
+    sharers: tuple[int, ...] = SHARERS_SWEEP,
+    ops: int = 400,
+    seed: int = 0,
+    rtl: bool = False,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    point_timeout: float | None = None,
+    keep_going: bool = False,
+    progress=None,
+    stats=None,
+) -> dict[int, dict]:
+    """Sweep the sharer count through the MESI sharing stress.
+
+    Each point is one :func:`repro.coherence.run_sharing_stress` run
+    (protocol invariants audited throughout, golden memory compared at
+    the end); points fan out over ``run_points`` workers and
+    short-circuit through *cache* exactly like the NVDLA DSE points.
+    Returns ``{sharers: result_dict}``; a failed point (only possible
+    with ``keep_going=True``) is reported as ``None``.
+    """
+    from ..parallel import PointFailure
+
+    points = [(n, ops, seed, rtl) for n in sharers]
+    measured: list[Optional[dict]] = [None] * len(points)
+    keys: list[Optional[str]] = [None] * len(points)
+    todo: list[int] = []
+    for i, point in enumerate(points):
+        if cache is not None:
+            keys[i] = cache.key(
+                experiment="coherence_point",
+                sharers=point[0], ops=point[1], seed=point[2], rtl=point[3],
+            )
+            measured[i] = cache.get(keys[i])
+        if measured[i] is None:
+            todo.append(i)
+
+    fresh = run_points(
+        [points[i] for i in todo], _coherence_point, jobs=jobs,
+        point_timeout=point_timeout, keep_going=keep_going,
+        progress=progress, stats=stats,
+    )
+    for i, value in zip(todo, fresh):
+        measured[i] = value
+        if isinstance(value, PointFailure):
+            continue  # never cache a failure sentinel
+        if cache is not None and keys[i] is not None:
+            cache.put(keys[i], value, meta={"point": list(points[i])})
+
+    return {
+        n: (None if isinstance(m, PointFailure) else m)
+        for n, m in zip(sharers, measured)
+    }
+
+
+# ---------------------------------------------------------------------------
 # Table 3: simulation-time overhead vs standalone "Verilator" run
 # ---------------------------------------------------------------------------
 

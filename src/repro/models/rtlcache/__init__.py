@@ -1,5 +1,12 @@
 """RTL cache use case: the paper's Fig. 2(a) connectivity scenario."""
 
+from .coherent import (
+    RTLCACHE_COH_INPUT,
+    RTLCACHE_COH_OUTPUT,
+    RTLCacheCohSharedLibrary,
+    RTLCoherentCacheObject,
+    load_rtl_cache_coh_source,
+)
 from .wrapper import (
     FILL_LANES,
     LINE_BYTES,
@@ -16,12 +23,17 @@ from .wrapper import (
 __all__ = [
     "FILL_LANES",
     "LINE_BYTES",
+    "RTLCACHE_COH_INPUT",
+    "RTLCACHE_COH_OUTPUT",
     "RTLCACHE_ECC_OUTPUT",
     "RTLCACHE_INPUT",
     "RTLCACHE_OUTPUT",
+    "RTLCacheCohSharedLibrary",
     "RTLCacheECCSharedLibrary",
     "RTLCacheObject",
     "RTLCacheSharedLibrary",
+    "RTLCoherentCacheObject",
+    "load_rtl_cache_coh_source",
     "load_rtl_cache_ecc_source",
     "load_rtl_cache_source",
 ]

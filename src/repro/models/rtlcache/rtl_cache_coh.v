@@ -1,0 +1,175 @@
+// ---------------------------------------------------------------------------
+// Coherent RTL cache (direct-mapped, write-through, one outstanding miss)
+//
+// The rtl_cache datapath plus a coherence probe port, so the design can sit
+// beside behavioral L1s under the repro.coherence MESI directory.  A probe
+// (snoop_valid/snoop_addr) is a one-cycle invalidate request: the cache
+// always acknowledges on the next edge (snoop_ack) and reports whether the
+// line was resident (snoop_hit); a hit clears the valid bit.  The cache is
+// write-through, so an invalidated line is always clean — no data response
+// path is needed.
+//
+// The bridge (repro.models.rtlcache.coherent) only drives probes while the
+// request pins are idle and no fill is in flight, but the RTL is ordered to
+// be safe regardless: the snoop block comes last in the always body, so at
+// a shared edge the invalidate wins over a same-index install (last
+// assignment wins in non-blocking ordering).
+//
+// Compiled unmodified by repro.hdl.verilog.
+// ---------------------------------------------------------------------------
+
+module rtl_cache_coh #(
+    parameter IDXW = 6     // 2^IDXW lines of 64 bytes
+) (
+    input clk,
+    input rst,
+
+    // CPU-side request (held stable until resp_valid)
+    input req_valid,
+    input req_write,
+    input [31:0] req_addr,
+    input [63:0] req_wdata,
+    output reg resp_valid,
+    output reg [63:0] resp_rdata,
+    output reg resp_was_hit,
+
+    // memory-side: line fill
+    output reg miss_valid,
+    output reg [31:0] miss_addr,
+    input fill_valid,
+    input [511:0] fill_data,
+
+    // memory-side: write-through
+    output reg wt_valid,
+    output reg [31:0] wt_addr,
+    output reg [63:0] wt_data,
+
+    // coherence probe port (invalidate-only; write-through => always clean)
+    input snoop_valid,
+    input [31:0] snoop_addr,
+    output reg snoop_ack,
+    output reg snoop_hit,
+
+    // observability
+    output [31:0] hit_count,
+    output [31:0] miss_count,
+    output [31:0] snoop_count
+);
+
+    localparam LINES = 1 << IDXW;
+
+    reg [19:0] tags [0:LINES-1];
+    reg [LINES-1:0] valid;
+    reg [511:0] data [0:LINES-1];
+
+    reg busy;                 // miss outstanding
+    reg [31:0] hits;
+    reg [31:0] misses;
+    reg [31:0] snoops;
+    integer i;
+
+    wire [IDXW-1:0] index;
+    wire [19:0] tag;
+    wire [2:0] word;
+    wire hit;
+
+    wire [IDXW-1:0] snoop_index;
+    wire [19:0] snoop_tag;
+    wire snoop_match;
+
+    assign index = req_addr[IDXW+5:6];
+    assign tag = req_addr[31:12];
+    assign word = req_addr[5:3];
+    assign hit = valid[index] && (tags[index] == tag);
+    assign snoop_index = snoop_addr[IDXW+5:6];
+    assign snoop_tag = snoop_addr[31:12];
+    assign snoop_match = valid[snoop_index] && (tags[snoop_index] == snoop_tag);
+    assign hit_count = hits;
+    assign miss_count = misses;
+    assign snoop_count = snoops;
+
+    always @(posedge clk) begin
+        if (rst) begin
+            valid <= 0;
+            busy <= 0;
+            hits <= 0;
+            misses <= 0;
+            snoops <= 0;
+            resp_valid <= 0;
+            resp_rdata <= 0;
+            resp_was_hit <= 0;
+            miss_valid <= 0;
+            miss_addr <= 0;
+            wt_valid <= 0;
+            wt_addr <= 0;
+            wt_data <= 0;
+            snoop_ack <= 0;
+            snoop_hit <= 0;
+            for (i = 0; i < LINES; i = i + 1)
+                tags[i] <= 0;
+        end else begin
+            resp_valid <= 0;
+            miss_valid <= 0;
+            wt_valid <= 0;
+            snoop_ack <= 0;
+            snoop_hit <= 0;
+
+            if (busy) begin
+                // waiting for the line fill
+                if (fill_valid) begin
+                    data[index] <= fill_data;
+                    tags[index] <= tag;
+                    valid[index] <= 1'b1;
+                    busy <= 0;
+                    resp_valid <= 1;
+                    resp_was_hit <= 0;
+                    // the shift selects one 64-bit word of the line;
+                    // dropping the upper bits is the whole point
+                    // repro-lint: waive=WIDTH
+                    resp_rdata <= fill_data >> {word, 6'b0};
+                end
+            end else if (req_valid) begin
+                if (req_write) begin
+                    // write-through; update the line only on a write hit
+                    if (hit) begin
+                        data[index] <= (data[index]
+                            & ~(512'hFFFF_FFFF_FFFF_FFFF << {word, 6'b0}))
+                            | ({448'b0, req_wdata} << {word, 6'b0});
+                        hits <= hits + 1;
+                    end else begin
+                        misses <= misses + 1;
+                    end
+                    wt_valid <= 1;
+                    wt_addr <= req_addr;
+                    wt_data <= req_wdata;
+                    resp_valid <= 1;
+                    resp_was_hit <= hit;
+                end else if (hit) begin
+                    hits <= hits + 1;
+                    resp_valid <= 1;
+                    resp_was_hit <= 1;
+                    // repro-lint: waive=WIDTH  (word-select truncation)
+                    resp_rdata <= data[index] >> {word, 6'b0};
+                end else begin
+                    // read miss: fetch the line
+                    misses <= misses + 1;
+                    busy <= 1;
+                    miss_valid <= 1;
+                    miss_addr <= {req_addr[31:6], 6'b0};
+                end
+            end
+
+            // Coherence probe: last so a same-edge invalidate beats a
+            // same-index install or write-hit update.
+            if (snoop_valid) begin
+                snoops <= snoops + 1;
+                snoop_ack <= 1;
+                if (snoop_match) begin
+                    valid[snoop_index] <= 1'b0;
+                    snoop_hit <= 1;
+                end
+            end
+        end
+    end
+
+endmodule

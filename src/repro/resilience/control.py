@@ -156,6 +156,7 @@ class PeriodicCheckpointer(SimObject):
         self.directory = os.fspath(directory)
         self._event = Event(self._take, f"{name}.ckpt")
         self._index = 0
+        self._saving = False
         self.last_checkpoint_path: Optional[str] = None
         # (path, tick-at-save) per checkpoint.  IO vetoes can slide a
         # save past its nominal cycle, so campaign restores must consult
@@ -177,9 +178,21 @@ class PeriodicCheckpointer(SimObject):
         # periodic checkpoint event — a restored run keeps checkpointing.
         self.schedule_cycles(self._event, self.every_cycles,
                              EventPriority.STATS)
+        if self._saving:
+            # A vetoed save drains the event queue looking for a
+            # checkpointable instant; when vetoes persist for a whole
+            # period (a wedged access under fault injection) the drain
+            # reaches the *next* periodic instant.  Nesting another
+            # save here recurses until the host stack blows — skip, the
+            # outer save is still hunting for the same instant.
+            return
         path = os.path.join(self.directory, f"ckpt-{self._index:04d}.ckpt")
         self._index += 1
-        tick = self.sim.save_checkpoint(path)
+        self._saving = True
+        try:
+            tick = self.sim.save_checkpoint(path)
+        finally:
+            self._saving = False
         self.last_checkpoint_path = path
         self.manifest.append((path, tick))
         self.st_saved.inc()

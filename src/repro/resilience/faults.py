@@ -491,6 +491,13 @@ class FaultInjector(SimObject):
 
         for obj in self.sim.objects:
             if not isinstance(obj, RTLObject):
+                # duck-typed hook: behavioural objects that carry
+                # protocol metadata (e.g. the coherence directory)
+                # expose flip_state_bit(signal, bit) -> bool
+                flip = getattr(obj, "flip_state_bit", None)
+                if flip is not None and signal is not None:
+                    if flip(signal, bit):
+                        self.st_flips.inc()
                 continue
             rtl_sim = getattr(obj.library, "sim", None)
             if rtl_sim is None:

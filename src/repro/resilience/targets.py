@@ -295,6 +295,79 @@ class CacheRig:
         self.rtlc.stop()
 
 
+class CoherenceRig:
+    """Sharing drivers over MESI L1s, a snooping directory, and the RTL
+    write-through cache as a coherence participant.
+
+    Observables are the per-driver read checksums and a digest of the
+    shared + private memory windows — the architectural state a lost or
+    phantom invalidation must disturb to count as an SDC.  Protocol
+    upsets that trip the MESI engine's own audits raise
+    :class:`~repro.coherence.protocol.ProtocolError` and triage as
+    crashes (detected); ``detection()`` additionally runs a final
+    invariant sweep so silent metadata corruption that survives the run
+    is reported as a detected violation rather than blamed on memory.
+    """
+
+    def __init__(self, params: dict) -> None:
+        from ..coherence.check import build_sharing_system
+
+        self.system = build_sharing_system(
+            cores=params["cores"],
+            ops=params["ops"],
+            seed=params["seed"],
+            rtl=True,
+            paranoid=bool(params["paranoid"]),
+            gap_cycles=params["gap_cycles"],
+            l1_size=params["l1_size"],
+            mshrs=params["mshrs"],
+        )
+        self.sim = self.system.sim
+
+    def done(self) -> bool:
+        system = self.system
+        if not all(d.done for d in system.drivers):
+            return False
+        if not all(getattr(c, "quiet", True) for c in system.caches):
+            return False
+        if system.rtl is not None and system.rtl.inflight:
+            return False
+        return system.directory.quiet
+
+    def run(self, max_cycles: int,
+            wall_deadline: Optional[float] = None) -> int:
+        return run_on_grid(self.sim, self.done, max_cycles, wall_deadline)
+
+    def observables(self) -> dict:
+        system = self.system
+        layout = system.layout
+        digest = hashlib.sha256()
+        digest.update(system.mem.physmem.read(
+            layout.shared_base, layout.shared_lines * 64))
+        for c in range(system.n_drivers):
+            digest.update(system.mem.physmem.read(
+                layout.priv_region(c), layout.priv_lines * 64))
+        obs = {"memory": digest.hexdigest()[:16]}
+        for i, drv in enumerate(system.drivers):
+            obs[f"checksum[{i}]"] = int(drv.checksum)
+            obs[f"responses[{i}]"] = int(drv.responses)
+        return obs
+
+    def detection(self) -> dict:
+        from ..coherence.check import check_coherence_invariants
+        from ..coherence.protocol import ProtocolError
+
+        try:
+            check_coherence_invariants(self.system)
+        except ProtocolError:
+            return {"invariant_violations": 1}
+        return {"invariant_violations": 0}
+
+    def finish(self) -> None:
+        if self.system.rtl is not None:
+            self.system.rtl.stop()
+
+
 # ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
@@ -334,6 +407,51 @@ def _cache_module(params: dict):
 
     cls = RTLCacheECCSharedLibrary if params["ecc"] else RTLCacheSharedLibrary
     return cls(idxw=params["idxw"], backend="interp").sim.module
+
+
+class _DirStatePseudoMem:
+    """Shape-only stand-in so flip_targets enumerates directory words."""
+
+    def __init__(self, depth: int, width: int) -> None:
+        self.depth = depth
+        self.width = width
+
+
+class _CoherenceFaultSpace:
+    """A :func:`~repro.resilience.faults.flip_targets`-compatible view
+    of the coherence target: the RTL participant's flops and memories
+    plus a ``dir_state`` pseudo-memory covering the directory's
+    (behavioural) sharer/owner metadata.  ``dir_state[k]`` faults are
+    routed to :meth:`DirectoryController.flip_state_bit` by the
+    injector's duck-typed hook; real RTL modules have no such memory,
+    so the same named fault is a no-op on them (and vice versa).
+    """
+
+    def __init__(self, module) -> None:
+        from ..coherence.directory import DIR_STATE_DEPTH, DIR_STATE_WIDTH
+
+        self._module = module
+        self.sync_procs = module.sync_procs
+        self.memories = dict(module.memories)
+        self.memories["dir_state"] = _DirStatePseudoMem(
+            DIR_STATE_DEPTH, DIR_STATE_WIDTH)
+
+    def visible_signals(self):
+        return self._module.visible_signals()
+
+
+def _coherence_build(params: dict) -> CoherenceRig:
+    return CoherenceRig(params)
+
+
+def _coherence_module(params: dict):
+    from ..models.rtlcache import RTLCacheCohSharedLibrary
+
+    # idxw is pinned to the testbench's participant geometry (see
+    # build_sharing_system), not a campaign parameter
+    return _CoherenceFaultSpace(
+        RTLCacheCohSharedLibrary(idxw=4, backend="interp").sim.module
+    )
 
 
 _CACHE_DEFAULTS = {
@@ -380,6 +498,25 @@ register_target(CampaignTarget(
     module=_cache_module,
     checkpoint_every=1_000,
     max_cycles=100_000,
+))
+
+register_target(CampaignTarget(
+    name="coherence",
+    description=("MESI sharers + RTL participant; flips cover the "
+                 "directory's sharer/owner metadata (dir_state[k])"),
+    defaults={
+        "cores": 2,
+        "ops": 96,
+        "seed": 7,
+        "gap_cycles": 20,
+        "l1_size": 1024,
+        "mshrs": 2,
+        "paranoid": False,
+    },
+    build=_coherence_build,
+    module=_coherence_module,
+    checkpoint_every=5_000,
+    max_cycles=400_000,
 ))
 
 

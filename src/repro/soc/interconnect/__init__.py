@@ -1,5 +1,6 @@
 """On-chip interconnect: the coherent crossbar."""
 
+from .coherent import CoherentXbar
 from .xbar import AddrRange, Crossbar
 
-__all__ = ["AddrRange", "Crossbar"]
+__all__ = ["AddrRange", "CoherentXbar", "Crossbar"]

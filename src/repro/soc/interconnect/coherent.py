@@ -1,0 +1,40 @@
+"""Crossbar with a snoop fan-out channel (repro.coherence).
+
+A :class:`CoherentXbar` is a plain :class:`~.xbar.Crossbar` for timing
+traffic, plus a broadcast path for the directory's *express* probes:
+a snoop arriving on any mem-side port is delivered synchronously to
+every cpu-side port, inside the sender's event.  Participants filter by
+``pkt.meta`` (``targets``/``dest``/``origin``) and aggregate answers by
+mutating the same dict, so the crossbar itself stays protocol-agnostic
+— it is a wire tree, not a point of ordering.  Ordering lives entirely
+in the directory; see :mod:`repro.coherence.directory`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..packet import Packet
+from ..ports import RequestPort
+from .xbar import AddrRange, Crossbar
+
+
+class CoherentXbar(Crossbar):
+    """Crossbar whose mem-side ports accept and fan out snoops."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.st_snoops = self.stats.scalar(
+            "snoops", "express probes fanned out to all cpu ports")
+
+    def new_mem_port(self, addr_range: Optional[AddrRange] = None) -> RequestPort:
+        port = super().new_mem_port(addr_range)
+        # the base class builds the port without a snoop path; splice
+        # the broadcast handler in rather than duplicating its wiring
+        port._recv_snoop = self._snoop_broadcast
+        return port
+
+    def _snoop_broadcast(self, pkt: Packet) -> None:
+        self.st_snoops.inc()
+        for port in self.cpu_ports:
+            port.send_snoop(pkt)

@@ -21,11 +21,19 @@ class MemCmd(enum.Enum):
     WritebackDirty = enum.auto()   # cache eviction traffic; no response
     PrefetchReq = enum.auto()      # prefetcher-generated read
     PrefetchResp = enum.auto()
+    # -- coherence (repro.coherence) ------------------------------------
+    ReadExReq = enum.auto()        # read-for-ownership: miss + intent to write
+    ReadExResp = enum.auto()       # line data granted in M
+    UpgradeReq = enum.auto()       # S -> M in place; no data transfer
+    UpgradeResp = enum.auto()
+    SnoopReq = enum.auto()         # directory-originated probe (inv/share)
+    SnoopResp = enum.auto()
 
     @property
     def is_read(self) -> bool:
         return self in (MemCmd.ReadReq, MemCmd.ReadResp,
-                        MemCmd.PrefetchReq, MemCmd.PrefetchResp)
+                        MemCmd.PrefetchReq, MemCmd.PrefetchResp,
+                        MemCmd.ReadExReq, MemCmd.ReadExResp)
 
     @property
     def is_write(self) -> bool:
@@ -34,21 +42,27 @@ class MemCmd(enum.Enum):
     @property
     def is_request(self) -> bool:
         return self in (MemCmd.ReadReq, MemCmd.WriteReq,
-                        MemCmd.WritebackDirty, MemCmd.PrefetchReq)
+                        MemCmd.WritebackDirty, MemCmd.PrefetchReq,
+                        MemCmd.ReadExReq, MemCmd.UpgradeReq, MemCmd.SnoopReq)
 
     @property
     def is_response(self) -> bool:
-        return self in (MemCmd.ReadResp, MemCmd.WriteResp, MemCmd.PrefetchResp)
+        return self in (MemCmd.ReadResp, MemCmd.WriteResp, MemCmd.PrefetchResp,
+                        MemCmd.ReadExResp, MemCmd.UpgradeResp, MemCmd.SnoopResp)
 
     @property
     def needs_response(self) -> bool:
-        return self in (MemCmd.ReadReq, MemCmd.WriteReq, MemCmd.PrefetchReq)
+        return self in (MemCmd.ReadReq, MemCmd.WriteReq, MemCmd.PrefetchReq,
+                        MemCmd.ReadExReq, MemCmd.UpgradeReq)
 
     def response_for(self) -> "MemCmd":
         table = {
             MemCmd.ReadReq: MemCmd.ReadResp,
             MemCmd.WriteReq: MemCmd.WriteResp,
             MemCmd.PrefetchReq: MemCmd.PrefetchResp,
+            MemCmd.ReadExReq: MemCmd.ReadExResp,
+            MemCmd.UpgradeReq: MemCmd.UpgradeResp,
+            MemCmd.SnoopReq: MemCmd.SnoopResp,
         }
         if self not in table:
             raise ValueError(f"{self} does not take a response")

@@ -65,10 +65,12 @@ class RequestPort(_Port):
         owner=None,
         recv_timing_resp: Optional[Callable[[Packet], bool]] = None,
         recv_req_retry: Optional[Callable[[], None]] = None,
+        recv_snoop: Optional[Callable[[Packet], None]] = None,
     ) -> None:
         super().__init__(name, owner)
         self._recv_timing_resp = recv_timing_resp
         self._recv_req_retry = recv_req_retry
+        self._recv_snoop = recv_snoop
         self._waiting_retry = False
 
     def connect(self, peer: "ResponsePort") -> None:
@@ -127,6 +129,24 @@ class RequestPort(_Port):
         else:
             raise RuntimeError(f"port {self.name} has no retry handler")
 
+    def handle_snoop(self, pkt: Packet) -> None:
+        """Deliver a coherence probe travelling *against* the request flow.
+
+        Snoops are *express* (gem5's atomic snoop): the call runs to
+        completion inside the sender's event, bypassing the timing
+        queues, so the directory's serialization point also serializes
+        every coherence side effect.  Responders aggregate their answers
+        by mutating ``pkt.meta`` rather than turning the packet around.
+        """
+        if self._recv_snoop is not None:
+            self._recv_snoop(pkt)
+            return
+        recv = getattr(self.owner, "recv_snoop", None)
+        if recv is not None:
+            recv(pkt)
+            return
+        raise RuntimeError(f"port {self.name} has no snoop handler")
+
     @property
     def waiting_retry(self) -> bool:
         return self._waiting_retry
@@ -173,6 +193,12 @@ class ResponsePort(_Port):
         peer = self._require_peer()
         assert isinstance(peer, RequestPort)
         peer.handle_req_retry()
+
+    def send_snoop(self, pkt: Packet) -> None:
+        """Push an express coherence probe up toward the requester."""
+        peer = self._require_peer()
+        assert isinstance(peer, RequestPort)
+        peer.handle_snoop(pkt)
 
     # called by the peer -------------------------------------------------------
 

@@ -284,14 +284,35 @@ class StatGroup:
         return ".".join(reversed(parts))
 
     def dump(self, prefix: str = "") -> dict[str, Number]:
-        """Flatten this subtree into ``{dotted.name: value}``."""
+        """Flatten this subtree into ``{dotted.name: value}``.
+
+        Flat keys must stay injective: construction already rejects
+        duplicate sibling names, but dotted stat/group names can still
+        alias across levels (``cpu0.l1d`` the group vs a stat literally
+        named ``"cpu0.l1d"``), and a silent ``dict.update`` would merge
+        two caches' counters into one row.  Such collisions raise here.
+        """
         base = f"{prefix}{self.name}" if self.name else prefix.rstrip(".")
         out: dict[str, Number] = {}
         for stat in self.stats.values():
             for suffix, v in stat.rows():
-                out[f"{base}.{stat.name}{suffix}"] = v
+                key = f"{base}.{stat.name}{suffix}"
+                if key in out:
+                    raise ValueError(
+                        f"stats dump key collision on {key!r} in group "
+                        f"{self.path()!r}"
+                    )
+                out[key] = v
         for child in self.children.values():
-            out.update(child.dump(prefix=f"{base}."))
+            sub = child.dump(prefix=f"{base}.")
+            clash = out.keys() & sub.keys()
+            if clash:
+                raise ValueError(
+                    f"stats dump key collision between group "
+                    f"{self.path()!r} and child {child.name!r}: "
+                    f"{sorted(clash)[:4]}"
+                )
+            out.update(sub)
         return out
 
     def reset(self) -> None:

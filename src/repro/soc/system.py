@@ -82,6 +82,11 @@ class SoCConfig:
     xbar_latency: int = 2
     xbar_queue: int = 16
     with_llc: bool = True
+    #: MESI multi-core mode: private coherent L1Ds behind a snooping
+    #: directory ("l2dir") on a CoherentXbar ("cohbus").  The directory
+    #: replaces the per-core L2s for data traffic; instruction fetch
+    #: stays on the plain (read-only) hierarchy.
+    coherent: bool = False
 
 
 class SoC:
@@ -140,10 +145,28 @@ class SoC:
         else:
             self.llc = None  # sysbus is membus; cores reach DRAM directly
 
+        # coherence domain (cfg.coherent): private L1Ds share through a
+        # snooping directory that serializes every data-side transaction
+        self.cohbus = None
+        self.l2dir = None
+        if cfg.coherent:
+            from ..coherence.directory import DirectoryController
+            from .interconnect import CoherentXbar
+
+            self.cohbus = CoherentXbar(
+                self.sim, "cohbus", cfg.xbar_latency, cfg.xbar_queue
+            )
+            self.l2dir = DirectoryController(
+                self.sim, "l2dir", size=cfg.l2.size, assoc=cfg.l2.assoc,
+                latency_cycles=cfg.l2.latency,
+            )
+            self.cohbus.new_mem_port().connect(self.l2dir.cpu_side)
+            self.l2dir.mem_side.connect(self.sysbus.new_cpu_port())
+
         # cores + private hierarchies
         self.cores: list[OoOCore] = []
         self.l1is: list[Cache] = []
-        self.l1ds: list[Cache] = []
+        self.l1ds: list = []
         self.l2s: list[Cache] = []
         self.l1buses: list[Crossbar] = []
         for i in range(cfg.num_cores):
@@ -156,27 +179,47 @@ class SoC:
                 stq_size=cfg.core.stq_size,
                 mispredict_penalty=cfg.core.mispredict_penalty,
             )
-            l1i = Cache(self.sim, f"l1i{i}", cfg.l1i.size, cfg.l1i.assoc,
-                        cfg.l1i.latency, cfg.l1i.mshrs)
-            l1d = Cache(self.sim, f"l1d{i}", cfg.l1d.size, cfg.l1d.assoc,
-                        cfg.l1d.latency, cfg.l1d.mshrs)
-            pf = StridePrefetcher() if cfg.l2.prefetcher else None
-            l2 = Cache(self.sim, f"l2_{i}", cfg.l2.size, cfg.l2.assoc,
-                       cfg.l2.latency, cfg.l2.mshrs, prefetcher=pf)
-            l1bus = Crossbar(self.sim, f"l1bus{i}", latency_cycles=1)
+            if cfg.coherent:
+                from ..coherence.l1 import CoherentL1Cache
 
-            core.dcache_port.connect(l1d.cpu_side)
-            core.icache_port.connect(l1i.cpu_side)
-            l1d.mem_side.connect(l1bus.new_cpu_port())
-            l1i.mem_side.connect(l1bus.new_cpu_port())
-            l1bus.new_mem_port().connect(l2.cpu_side)
-            l2.mem_side.connect(self.sysbus.new_cpu_port())
+                # child of the core, so stats land under system.cpu{i}.l1d
+                l1d = CoherentL1Cache(
+                    self.sim, "l1d", size=cfg.l1d.size, assoc=cfg.l1d.assoc,
+                    latency_cycles=cfg.l1d.latency, mshrs=cfg.l1d.mshrs,
+                    parent=core,
+                )
+                l1i = Cache(self.sim, f"l1i{i}", cfg.l1i.size, cfg.l1i.assoc,
+                            cfg.l1i.latency, cfg.l1i.mshrs)
+                l2 = None
+                l1bus = None
+                core.dcache_port.connect(l1d.cpu_side)
+                core.icache_port.connect(l1i.cpu_side)
+                l1d.mem_side.connect(self.cohbus.new_cpu_port())
+                l1i.mem_side.connect(self.sysbus.new_cpu_port())
+            else:
+                l1i = Cache(self.sim, f"l1i{i}", cfg.l1i.size, cfg.l1i.assoc,
+                            cfg.l1i.latency, cfg.l1i.mshrs)
+                l1d = Cache(self.sim, f"l1d{i}", cfg.l1d.size, cfg.l1d.assoc,
+                            cfg.l1d.latency, cfg.l1d.mshrs)
+                pf = StridePrefetcher() if cfg.l2.prefetcher else None
+                l2 = Cache(self.sim, f"l2_{i}", cfg.l2.size, cfg.l2.assoc,
+                           cfg.l2.latency, cfg.l2.mshrs, prefetcher=pf)
+                l1bus = Crossbar(self.sim, f"l1bus{i}", latency_cycles=1)
+
+                core.dcache_port.connect(l1d.cpu_side)
+                core.icache_port.connect(l1i.cpu_side)
+                l1d.mem_side.connect(l1bus.new_cpu_port())
+                l1i.mem_side.connect(l1bus.new_cpu_port())
+                l1bus.new_mem_port().connect(l2.cpu_side)
+                l2.mem_side.connect(self.sysbus.new_cpu_port())
 
             self.cores.append(core)
             self.l1is.append(l1i)
             self.l1ds.append(l1d)
-            self.l2s.append(l2)
-            self.l1buses.append(l1bus)
+            if l2 is not None:
+                self.l2s.append(l2)
+            if l1bus is not None:
+                self.l1buses.append(l1bus)
 
         # an IOMaster on the sysbus for host MMIO traffic
         self.iomaster = IOMaster(self.sim, "iomaster")
@@ -209,6 +252,17 @@ class SoC:
         """
         bus = self.sysbus if via_llc else self.membus
         rtl_obj.mem_side[port_idx].connect(bus.new_cpu_port())
+
+    def attach_rtl_coherent(self, rtl_obj, port_idx: int = 0) -> None:
+        """Attach an RTL coherence participant (e.g.
+        :class:`~repro.models.rtlcache.RTLCoherentCacheObject`) to the
+        coherent crossbar, beside the behavioral L1Ds."""
+        if self.cohbus is None:
+            raise RuntimeError(
+                "attach_rtl_coherent requires SoCConfig(coherent=True)"
+            )
+        rtl_obj.mem_side[port_idx].connect(self.cohbus.new_cpu_port())
+        self.l1ds.append(rtl_obj)
 
     def new_tlb(self, name: str = "dev_tlb") -> TLB:
         return TLB(self.sim, name, page_table=self.page_table)

@@ -11,6 +11,7 @@ pmu           verilog  memories, address-mapped regs, single always
 bitonic       vhdl     deep comb instance tree + registered stages
 rtlcache      verilog  wide datapaths, miss FSM-ish busy flag
 rtlcache_ecc  verilog  rtlcache + per-word parity and refetch path
+rtlcache_coh  verilog  rtlcache + coherence probe (snoop) interface
 ============= ======== =============================================
 """
 
@@ -22,6 +23,7 @@ from typing import Callable, Optional
 from ..hdl.common import CoverageOptions, ElabOptions
 from ..models.bitonic.wrapper import load_bitonic_source
 from ..models.pmu.wrapper import load_pmu_source
+from ..models.rtlcache.coherent import load_rtl_cache_coh_source
 from ..models.rtlcache.wrapper import (
     load_rtl_cache_ecc_source,
     load_rtl_cache_source,
@@ -106,6 +108,10 @@ DESIGNS: dict[str, Design] = {
         Design("rtlcache_ecc", "verilog", "rtl_cache_ecc",
                load_rtl_cache_ecc_source,
                "src/repro/models/rtlcache/rtl_cache_ecc.v",
+               params={"IDXW": 4}),
+        Design("rtlcache_coh", "verilog", "rtl_cache_coh",
+               load_rtl_cache_coh_source,
+               "src/repro/models/rtlcache/rtl_cache_coh.v",
                params={"IDXW": 4}),
     )
 }

@@ -23,6 +23,10 @@ Rules
 ``ASYNCRESET``    an async reset in the sensitivity list that the body
                   does not test first / with the matching polarity, or
                   one reset used with both polarities across blocks
+``SNOOPDRIVE``    a ``snoop_``-prefixed output port assigned on some but
+                  not all paths of a clocked block — a coherence probe
+                  response must be driven in every FSM state, or a
+                  participant can observe a stale acknowledge
 ``SYNTAX``        a frontend :class:`~repro.hdl.HDLSyntaxError`,
                   rendered as a finding instead of a traceback
 
@@ -52,6 +56,7 @@ RULE_CASE = "CASE"
 RULE_UNUSED = "UNUSED"
 RULE_UNDRIVEN = "UNDRIVEN"
 RULE_ASYNCRESET = "ASYNCRESET"
+RULE_SNOOPDRIVE = "SNOOPDRIVE"
 RULE_SYNTAX = "SYNTAX"
 
 #: rule id -> (severity, one-line description)
@@ -63,6 +68,8 @@ RULES: dict[str, tuple[str, str]] = {
     RULE_UNUSED: (SEV_WARNING, "signal declared but never read"),
     RULE_UNDRIVEN: (SEV_WARNING, "signal read but never driven"),
     RULE_ASYNCRESET: (SEV_WARNING, "inconsistent async reset usage"),
+    RULE_SNOOPDRIVE: (SEV_WARNING,
+                      "snoop output not driven in every state"),
     RULE_SYNTAX: (SEV_ERROR, "source failed to parse"),
 }
 
@@ -718,6 +725,31 @@ def _pass_async_reset(info: _ModuleInfo) -> list[Finding]:
     return findings
 
 
+def _pass_snoopdrive(info: _ModuleInfo) -> list[Finding]:
+    """Snoop response ports must be driven in every state of a clocked
+    block: a ``snoop_`` output that is only assigned on some paths holds
+    its previous value on the others, so a coherence participant polling
+    it can see a stale acknowledge or hit flag from an earlier probe."""
+    findings: list[Finding] = []
+    for item in _behavioral_items(info.mod):
+        if not isinstance(item, ast.AlwaysBlock) or not item.sensitivity:
+            continue
+        always, sometimes = _assign_paths(item.body)
+        for name in sorted(sometimes - always):
+            if not name.startswith("snoop_"):
+                continue
+            if info.dirs.get(name) != ast.DIR_OUTPUT:
+                continue
+            findings.append(_finding(
+                RULE_SNOOPDRIVE, item.loc,
+                f"snoop port '{name}' is assigned on some but not all "
+                "paths of this clocked block; drive it (e.g. a default "
+                "clear) in every state so probes never observe a stale "
+                "response",
+            ))
+    return findings
+
+
 # ---------------------------------------------------------------------------
 # Pipeline entry points
 # ---------------------------------------------------------------------------
@@ -729,6 +761,7 @@ _PASSES = (
     _pass_case,
     _pass_unused_undriven,
     _pass_async_reset,
+    _pass_snoopdrive,
 )
 
 

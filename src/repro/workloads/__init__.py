@@ -1,5 +1,6 @@
 """Workload generators: µop streams for the host cores."""
 
+from .sharing import false_sharing_uops, sharing_benchmark
 from .sorting import (
     BranchPredictor,
     bubblesort_uops,
@@ -12,6 +13,8 @@ from .sorting import (
 __all__ = [
     "BranchPredictor",
     "bubblesort_uops",
+    "false_sharing_uops",
+    "sharing_benchmark",
     "make_array",
     "quicksort_uops",
     "selectionsort_uops",

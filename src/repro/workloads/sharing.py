@@ -1,0 +1,80 @@
+"""Multi-core sharing µop workloads (repro.coherence).
+
+Two classic coherence traffic shapes:
+
+* **False sharing / ping-pong** — every core stores into *its own*
+  8-byte word of the *same* cache lines.  No data is actually shared,
+  but the line-granular protocol bounces each line M→I→M between the
+  cores: every store is an upgrade or ReadEx miss, every neighbour read
+  an intervention.  Per-core MPKI rises with the number of sharers even
+  though each core's working set is constant — the signature the
+  coherence benchmark gate pins.
+* **Private mix** — interleaved accesses to a per-core private window,
+  giving the protocol E/M fast paths so the stress is not 100 %
+  pathological.
+
+Generators are deterministic (no RNG): the same (core, cores, iters)
+always emits the same µop stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..soc.cpu.uop import Uop, alu, branch, load, store
+
+#: default shared window (distinct from the sorting workloads' arrays)
+SHARED_BASE = 0x4_0000
+PRIV_BASE = 0x10_0000
+PRIV_STRIDE = 0x1_0000
+LINE = 64
+
+
+def false_sharing_uops(
+    core: int,
+    cores: int,
+    iters: int = 400,
+    shared_lines: int = 2,
+    priv_lines: int = 8,
+    shared_base: int = SHARED_BASE,
+    priv_base: int = PRIV_BASE,
+    priv_stride: int = PRIV_STRIDE,
+) -> Iterator[Uop]:
+    """Core *core* of *cores* ping-ponging ``shared_lines`` lines.
+
+    Per iteration: read a neighbour's word of the shared line (pulls
+    the line S, an intervention if the neighbour dirtied it), store
+    into our own word (upgrade to M, invalidating everyone else), then
+    a couple of private-window accesses.
+    """
+    if cores < 1:
+        raise ValueError("cores must be >= 1")
+    neighbour = (core + 1) % max(cores, 1)
+    mine = core % 8
+    theirs = neighbour % 8
+    priv = priv_base + core * priv_stride
+    for it in range(iters):
+        line_addr = shared_base + (it % shared_lines) * LINE
+        yield load(line_addr + theirs * 8)
+        yield alu(1)
+        yield store(line_addr + mine * 8)
+        yield branch(False)
+        # private mix: mostly hits, an occasional conflict-miss walk
+        paddr = priv + (it % priv_lines) * LINE
+        yield load(paddr)
+        if it % 4 == core % 4:
+            yield store(paddr + 8)
+        yield alu(1)
+
+
+def sharing_benchmark(
+    cores: int,
+    iters: int = 400,
+    shared_lines: int = 2,
+) -> list:
+    """One µop generator per core for a ``cores``-way ping-pong run."""
+    return [
+        false_sharing_uops(core, cores, iters=iters,
+                           shared_lines=shared_lines)
+        for core in range(cores)
+    ]

@@ -1,0 +1,104 @@
+"""The RTL cache as a coherence participant.
+
+Lockstep contract: beside the behavioural L1s, the RTL write-through
+cache must observe every probe through its snoop pins, report hit/miss
+exactly as its mirror predicts, and leave the same observable memory
+state as an all-behavioural run — under the serial tick path and the
+tier-(a) pooled tick engine alike.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.coherence import run_sharing_stress
+from repro.coherence.check import build_sharing_system
+from repro.rtl.parallel.pool import pool_available
+from repro.rtl.parallel.sched import attach_parallel_rtl
+from repro.soc.packet import set_next_packet_id
+
+SMALL = dict(l1_size=1024, mshrs=2)  # force evictions and MSHR pressure
+
+
+class TestLockstep:
+    def test_rtl_beside_behavioural_l1s(self):
+        result = run_sharing_stress(cores=2, ops=300, seed=7, rtl=True,
+                                    **SMALL)
+        stats = result["stats"]
+        # every directory probe reached the pins and the pin-level
+        # hit/miss matched the mirror (a divergence raises inside)
+        assert stats["system.rtl_l1.invalidations"] > 0
+        assert (stats["system.rtl_l1.rtl_snoops"]
+                == stats["system.rtl_l1.invalidations"])
+
+    def test_rtl_only_participant(self):
+        run_sharing_stress(cores=0, ops=200, seed=2, rtl=True)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_lockstep_across_seeds(self, seed):
+        run_sharing_stress(cores=2, ops=200, seed=seed, rtl=True, **SMALL)
+
+
+@pytest.mark.skipif(not pool_available(),
+                    reason="platform lacks the fork start method")
+class TestPooledTicks:
+    """Snoop-response events at the same timestamp as RTL ticks keep the
+    serial interleaving when ticks run through the worker pool."""
+
+    def _run(self, rtl_jobs, until=None, ckpt_path=None):
+        set_next_packet_id(0)
+        system = build_sharing_system(cores=2, ops=150, seed=5, rtl=2,
+                                      **SMALL)
+        sim = system.sim
+        sched = None
+        if rtl_jobs > 1:
+            sched = attach_parallel_rtl(sim, system.rtls, rtl_jobs)
+            assert sched is not None
+        try:
+            sim.startup()
+            ckpt_tick = None
+            if ckpt_path is not None:
+                sim.run(until=until)
+                ckpt_tick = sim.save_checkpoint(ckpt_path)
+            step = sim.default_clock.cycles_to_ticks(2_000)
+
+            def quiet():
+                return (all(d.done for d in system.drivers)
+                        and all(c.quiet for c in system.caches)
+                        and system.directory.quiet)
+
+            while not quiet():
+                sim.run(until=sim.now + step)
+        finally:
+            if sched is not None:
+                sched.close()
+        return sim.now, sim.stats_dump(), ckpt_tick
+
+    def test_full_run_bit_identical(self):
+        end_s, stats_s, _ = self._run(rtl_jobs=1)
+        end_p, stats_p, _ = self._run(rtl_jobs=2)
+        assert end_p == end_s
+        assert stats_p == stats_s
+        assert stats_s["system.rtl_l1.rtl_snoops"] > 0
+        assert stats_s["system.rtl_l1_1.rtl_snoops"] > 0
+
+    def test_mid_run_checkpoint_bytes_match_serial(self, tmp_path):
+        until = 1_000_000  # mid-flight: snoops and fills in the air
+        a = tmp_path / "serial.ckpt"
+        b = tmp_path / "pooled.ckpt"
+        end_s, stats_s, tick_s = self._run(1, until=until, ckpt_path=str(a))
+        end_p, stats_p, tick_p = self._run(2, until=until, ckpt_path=str(b))
+        assert (end_p, tick_p) == (end_s, tick_s)
+        assert stats_p == stats_s
+        assert (hashlib.sha256(a.read_bytes()).hexdigest()
+                == hashlib.sha256(b.read_bytes()).hexdigest())
+
+    def test_stress_harness_pool_path(self):
+        set_next_packet_id(0)
+        serial = run_sharing_stress(cores=2, ops=150, seed=5, rtl=2, **SMALL)
+        set_next_packet_id(0)
+        pooled = run_sharing_stress(cores=2, ops=150, seed=5, rtl=2,
+                                    rtl_jobs=2, **SMALL)
+        assert pooled == serial

@@ -8,6 +8,7 @@ from repro.verify.lint import (
     RULE_CASE,
     RULE_LATCH,
     RULE_MULTIDRIVEN,
+    RULE_SNOOPDRIVE,
     RULE_SYNTAX,
     RULE_UNDRIVEN,
     RULE_UNUSED,
@@ -357,3 +358,93 @@ class TestVHDLLint:
         findings = lint_source(src, "e.vhdl").findings
         assert any(f.rule == RULE_UNUSED and "'dead'" in f.message
                    for f in findings)
+
+
+class TestSnoopDrive:
+    """Snoop handshake outputs must be driven in every state of a
+    clocked block — a conditionally-driven snoop_ack holds its last
+    value and acknowledges probes that were never observed."""
+
+    BAD = """
+    module m(input clk, input rst, input snoop_valid,
+             output reg snoop_ack, output reg snoop_hit);
+        always @(posedge clk) begin
+            if (rst) begin
+                snoop_ack <= 1'b0;
+                snoop_hit <= 1'b0;
+            end else begin
+                if (snoop_valid) begin
+                    snoop_ack <= 1'b1;
+                    snoop_hit <= 1'b1;
+                end
+            end
+        end
+    endmodule
+    """
+
+    GOOD = """
+    module m(input clk, input rst, input snoop_valid,
+             output reg snoop_ack, output reg snoop_hit);
+        always @(posedge clk) begin
+            if (rst) begin
+                snoop_ack <= 1'b0;
+                snoop_hit <= 1'b0;
+            end else begin
+                snoop_ack <= 1'b0;
+                snoop_hit <= 1'b0;
+                if (snoop_valid) begin
+                    snoop_ack <= 1'b1;
+                    snoop_hit <= 1'b1;
+                end
+            end
+        end
+    endmodule
+    """
+
+    def test_conditionally_driven_snoop_output_fires(self):
+        assert RULE_SNOOPDRIVE in rules_of(self.BAD)
+
+    def test_default_assignment_every_state_is_clean(self):
+        assert RULE_SNOOPDRIVE not in rules_of(self.GOOD)
+
+    def test_non_snoop_outputs_are_not_flagged(self):
+        src = """
+        module m(input clk, input en, output reg ack);
+            always @(posedge clk) begin
+                if (en) ack <= 1'b1;
+            end
+        endmodule
+        """
+        assert RULE_SNOOPDRIVE not in rules_of(src)
+
+    def test_internal_snoop_regs_are_not_flagged(self):
+        src = """
+        module m(input clk, input en, output reg q);
+            reg snoop_seen;
+            always @(posedge clk) begin
+                if (en) snoop_seen <= 1'b1;
+                q <= snoop_seen;
+            end
+        endmodule
+        """
+        assert RULE_SNOOPDRIVE not in rules_of(src)
+
+    def test_finding_is_a_waivable_warning(self):
+        report = lint_source(self.BAD, "t.v")
+        f = [x for x in report.findings if x.rule == RULE_SNOOPDRIVE][0]
+        assert f.severity == "warning"
+        waived = lint_source(
+            self.BAD.replace("always @(posedge clk) begin",
+                             "always @(posedge clk) begin "
+                             "// repro-lint: waive=SNOOPDRIVE"),
+            "t.v",
+        )
+        assert all(x.waived for x in waived.findings
+                   if x.rule == RULE_SNOOPDRIVE)
+
+    def test_bundled_coherent_cache_is_clean(self):
+        from repro.verify.designs import get_design
+
+        design = get_design("rtlcache_coh")
+        report = lint_source(design.source(), design.filename)
+        assert not [f for f in report.findings if not f.waived]
